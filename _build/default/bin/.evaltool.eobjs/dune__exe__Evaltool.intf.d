@@ -1,0 +1,1 @@
+bin/evaltool.mli:

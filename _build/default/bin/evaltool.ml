@@ -1,0 +1,179 @@
+(* Regenerates the paper's evaluation: builds the five Table II sites,
+   compiles the NPB + SPEC MPI2007 corpus, migrates every binary to every
+   matching site, and prints Tables I-IV plus the supporting analyses. *)
+
+open Feam_evalharness
+
+let run_eval seed verbose =
+  let params = { Params.default with Params.seed } in
+  Fmt.pr "Provisioning the five Table II sites...@.";
+  let sites = Sites.build_all params in
+  Fmt.pr "Compiling benchmark corpus (NPB 2.4 + SPEC MPI2007)...@.";
+  let benchmarks = Feam_suites.Npb.all @ Feam_suites.Specmpi.all in
+  let binaries = Testset.build params sites benchmarks in
+  let nas, spec = Testset.count_by_suite binaries in
+  Fmt.pr "Test set: %d NPB binaries, %d SPEC MPI2007 binaries (paper: 110, 147)@."
+    nas spec;
+  Fmt.pr "Running migrations...@.";
+  let migrations = Migrate.run_all params sites binaries in
+  Fmt.pr "Migrations with a matching MPI implementation: %d (NAS %d, SPEC %d)@.@."
+    (List.length migrations)
+    (List.length (Migrate.of_suite Feam_suites.Benchmark.Nas migrations))
+    (List.length (Migrate.of_suite Feam_suites.Benchmark.Spec_mpi2007 migrations));
+  Feam_util.Table.print (Corpus_stats.table sites binaries);
+  Fmt.pr "@.";
+  let t1, t1_note = Tables.table1 binaries in
+  Feam_util.Table.print t1;
+  Fmt.pr "%s@.@." t1_note;
+  Feam_util.Table.print (Tables.table2 sites);
+  Fmt.pr "@.";
+  Feam_util.Table.print (Tables.table3 migrations);
+  Fmt.pr "(paper: basic 94%% / 92%%, extended 99%% / 93%%)@.@.";
+  Feam_util.Table.print (Tables.table4 migrations);
+  Fmt.pr "(paper: before 58%% / 47%%, after 78%% / 66%%, increase 33%% / 39%%)@.@.";
+  Feam_util.Table.print (Tables.accuracy_by_site migrations);
+  Fmt.pr "@.";
+  Feam_util.Table.print (Tables.failure_breakdown migrations);
+  let stats = Resolution_impact.missing_lib_breakdown migrations in
+  Fmt.pr
+    "missing-library failures: %d of %d pre-resolution failures; %d fixed by \
+     resolution@.@."
+    stats.Resolution_impact.missing_lib_failures
+    stats.Resolution_impact.failures_before
+    stats.Resolution_impact.missing_lib_fixed;
+  Feam_util.Table.print (Matrix.table (Matrix.build sites migrations));
+  Fmt.pr "@.";
+  Feam_util.Table.print (Effort.table migrations);
+  Fmt.pr "@.";
+  let timings = Timing.sample_timings sites binaries in
+  Fmt.pr "FEAM phase timings (simulated): max %.1f s (paper: < 5 min)@."
+    (Timing.max_seconds timings);
+  List.iter
+    (fun (site, bytes) ->
+      Fmt.pr "  bundle at %-10s: %.1f MB@." site (Timing.mb bytes))
+    (Timing.bundle_report sites binaries);
+  if verbose then begin
+    (* mispredictions, grouped: false-ready by actual failure cause,
+       then false-not-ready *)
+    let dump label correct ready actual =
+      Fmt.pr "@.Mispredictions (%s):@." label;
+      let wrong = List.filter (fun m -> not (correct m)) migrations in
+      let false_ready, false_not_ready = List.partition ready wrong in
+      let by_cause = Hashtbl.create 8 in
+      List.iter
+        (fun m ->
+          match actual m with
+          | Feam_dynlinker.Exec.Success -> ()
+          | Feam_dynlinker.Exec.Failure f ->
+            let cause = Accuracy.cause_name (Accuracy.classify f) in
+            Hashtbl.replace by_cause cause
+              (m :: Option.value (Hashtbl.find_opt by_cause cause) ~default:[]))
+        false_ready;
+      Hashtbl.iter
+        (fun cause ms ->
+          Fmt.pr "  predicted ready, failed by %s (%d):@." cause (List.length ms);
+          List.iter
+            (fun (m : Migrate.migration) ->
+              Fmt.pr "    %s -> %s: %s@." m.Migrate.binary.Testset.id
+                m.Migrate.target_name
+                (Feam_dynlinker.Exec.outcome_to_string (actual m)))
+            ms)
+        by_cause;
+      if false_not_ready <> [] then begin
+        Fmt.pr "  predicted not-ready, actually ran (%d):@."
+          (List.length false_not_ready);
+        List.iter
+          (fun (m : Migrate.migration) ->
+            Fmt.pr "    %s -> %s@." m.Migrate.binary.Testset.id m.Migrate.target_name)
+          false_not_ready
+      end
+    in
+    dump "extended" Migrate.extended_correct
+      (fun m -> m.Migrate.extended_ready)
+      (fun m -> m.Migrate.actual_after);
+    dump "basic" Migrate.basic_correct
+      (fun m -> m.Migrate.basic_ready)
+      (fun m -> m.Migrate.actual_before)
+  end
+
+let run_sweep n_seeds =
+  let aggregates =
+    Sweep.run ~on_progress:(fun seed -> Fmt.pr "  seed %d done@." seed) n_seeds
+  in
+  Feam_util.Table.print (Sweep.table ~seeds:n_seeds aggregates)
+
+open Cmdliner
+
+let seed =
+  Arg.(value & opt int Params.default.Params.seed & info [ "seed" ] ~doc:"Evaluation seed.")
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"List every misprediction.")
+
+let sweep =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sweep" ] ~docv:"N"
+        ~doc:"Run the evaluation over N consecutive seeds and report each \
+              headline metric as mean and range.")
+
+let run_whatif seed =
+  let params = { Params.default with Params.seed } in
+  let v = Feam_util.Version.of_string_exn in
+  let changes =
+    [
+      (* the dominant failure class: vendor runtimes absent at targets *)
+      ("forge", Whatif.Add_compiler (Feam_mpi.Compiler.make Feam_mpi.Compiler.Pgi (v "10.9")));
+      ("india", Whatif.Add_compiler (Feam_mpi.Compiler.make Feam_mpi.Compiler.Pgi (v "10.9")));
+      (* widening the implementation universe at the OMPI-only site *)
+      ( "blacklight",
+        Whatif.Add_stack
+          (Feam_mpi.Stack.make ~impl:Feam_mpi.Impl.Mpich2 ~impl_version:(v "1.4")
+             ~compiler:(Feam_mpi.Compiler.make Feam_mpi.Compiler.Gnu (v "4.4.3"))
+             ~interconnect:Feam_mpi.Interconnect.Ethernet) );
+    ]
+  in
+  Fmt.pr "Running what-if analysis (two full evaluations per change)...@.";
+  let results =
+    List.map
+      (fun (site_name, change) ->
+        let r = Whatif.evaluate params ~site_name ~change in
+        Fmt.pr "  %s: %s done@." site_name (Whatif.change_to_string change);
+        r)
+      changes
+  in
+  Feam_util.Table.print (Whatif.table results)
+
+let run_ablation seed =
+  let params = { Params.default with Params.seed } in
+  Fmt.pr "Running the ablation variants (one full evaluation each)...@.";
+  let results = Ablation.run params in
+  Feam_util.Table.print (Ablation.table results)
+
+let run seed verbose sweep_n ablation whatif =
+  if ablation then run_ablation seed
+  else if whatif then run_whatif seed
+  else
+    match sweep_n with
+    | Some n when n > 0 -> run_sweep n
+    | _ -> run_eval seed verbose
+
+let ablation =
+  Arg.(
+    value & flag
+    & info [ "ablation" ]
+        ~doc:"Run the ablation study: re-measure extended accuracy and               post-resolution success with each capability stripped.")
+
+let whatif =
+  Arg.(
+    value & flag
+    & info [ "whatif" ]
+        ~doc:"Run the administrator what-if analysis: measure the migrations               unlocked by hypothetical installs at the Table II sites.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "evaltool" ~doc:"Regenerate the FEAM paper's evaluation tables")
+    Term.(const run $ seed $ verbose $ sweep $ ablation $ whatif)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,546 @@
+(* FEAM command-line interface.
+
+   The real FEAM operates on live Unix systems; this reproduction's
+   sites are simulated, so the CLI exposes the framework over a *scenario*:
+   a named, reproducible world of sites.  Two scenarios are built in:
+
+     eval   — the five Table II sites with the seeded fault model
+     demo   — a two-site home/target world with a fault-free model
+
+   Commands mirror the paper's workflow:
+
+     feam sites     --scenario eval                 list the sites
+     feam describe  --scenario demo --site home ... run the BDC on a binary
+     feam discover  --scenario demo --site target   run the EDC
+     feam predict   --scenario demo ...             source phase + target
+                                                    phase + report
+     feam config-check                              parse a config file body *)
+
+open Cmdliner
+open Feam_util
+open Feam_sysmodel
+
+let setup_logs debug =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if debug then Some Logs.Debug else Some Logs.Warning)
+
+(* -- Scenarios ---------------------------------------------------------------- *)
+
+type scenario = {
+  sites : Site.t list;
+  (* per-site: a freshly compiled sample binary and its install *)
+  samples : (string * (string * Stack_install.t)) list;
+}
+
+let demo_scenario () =
+  let open Feam_mpi in
+  let v = Version.of_string_exn in
+  let batch =
+    Batch.make ~queues:[ { Batch.queue_name = "debug"; wait_seconds = 5.0 } ] Batch.Pbs
+  in
+  let make ~name ~glibc ~gcc ~distro_version =
+    let compiler = Compiler.make Compiler.Gnu (v gcc) in
+    let stack =
+      Stack.make ~impl:Impl.Open_mpi ~impl_version:(v "1.4") ~compiler
+        ~interconnect:Interconnect.Ethernet
+    in
+    let site =
+      Site.make ~description:"demo site" ~compilers:[ compiler ] ~seed:4
+        ~fault_model:Fault_model.none ~machine:Feam_elf.Types.X86_64
+        ~distro:(Distro.make Distro.Centos ~version:(v distro_version) ~kernel:(v "2.6.18"))
+        ~glibc:(v glibc) ~interconnect:Interconnect.Ethernet ~batch name
+    in
+    let installs =
+      Feam_toolchain.Provision.provision_site site
+        ~stacks:[ (stack, Stack_install.Functioning) ]
+    in
+    (site, List.hd installs)
+  in
+  let home, home_install = make ~name:"home" ~glibc:"2.5" ~gcc:"4.1.2" ~distro_version:"5.6" in
+  let target, target_install = make ~name:"target" ~glibc:"2.12" ~gcc:"4.4.5" ~distro_version:"6.1" in
+  let sample site install =
+    let program =
+      Feam_toolchain.Compile.program ~language:Stack.Fortran "sample_app"
+    in
+    match
+      Feam_toolchain.Compile.compile_mpi_to site install program
+        ~dir:"/home/user/bin"
+    with
+    | Ok path -> (path, install)
+    | Error _ -> failwith "sample compile failed"
+  in
+  {
+    sites = [ home; target ];
+    samples =
+      [ ("home", sample home home_install); ("target", sample target target_install) ];
+  }
+
+let eval_scenario () =
+  let params = Feam_evalharness.Params.default in
+  let sites = Feam_evalharness.Sites.build_all params in
+  let samples =
+    List.filter_map
+      (fun site ->
+        match Site.stack_installs site with
+        | install :: _ -> (
+          let program = Feam_toolchain.Compile.program "sample_app" in
+          match
+            Feam_toolchain.Compile.compile_mpi_to site install program
+              ~dir:"/home/user/bin"
+          with
+          | Ok path -> Some (Site.name site, (path, install))
+          | Error _ -> None)
+        | [] -> None)
+      sites
+  in
+  { sites; samples }
+
+(* A scenario from a file: sites from the scenario DSL, with a sample
+   binary compiled at every site that has a stack. *)
+let file_scenario path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  match Feam_evalharness.Scenario.load text with
+  | Error e -> failwith e
+  | Ok sites ->
+    let samples =
+      List.filter_map
+        (fun site ->
+          match Site.stack_installs site with
+          | install :: _ -> (
+            let program =
+              Feam_toolchain.Compile.program ~language:Feam_mpi.Stack.Fortran
+                "sample_app"
+            in
+            match
+              Feam_toolchain.Compile.compile_mpi_to site install program
+                ~dir:"/home/user/bin"
+            with
+            | Ok path -> Some (Site.name site, (path, install))
+            | Error _ -> None)
+          | [] -> None)
+        sites
+    in
+    { sites; samples }
+
+let load_scenario = function
+  | "demo" -> demo_scenario ()
+  | "eval" -> eval_scenario ()
+  | other ->
+    if Sys.file_exists other then file_scenario other
+    else
+      failwith
+        (Printf.sprintf "unknown scenario %S (use demo, eval, or a scenario file path)" other)
+
+let find_site scenario name =
+  match List.find_opt (fun s -> Site.name s = name) scenario.sites with
+  | Some s -> s
+  | None ->
+    failwith
+      (Printf.sprintf "no site %S; available: %s" name
+         (String.concat ", " (List.map Site.name scenario.sites)))
+
+(* -- Arguments ------------------------------------------------------------------ *)
+
+let debug_arg =
+  Arg.(value & flag & info [ "debug" ] ~doc:"Enable debug logging.")
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt string "demo"
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:"Scenario: demo, eval, or the path of a scenario file (see \
+              'feam scenario-template').")
+
+let site_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "site" ] ~docv:"SITE" ~doc:"Site to operate on.")
+
+let binary_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "binary" ] ~docv:"PATH"
+        ~doc:"Path of the binary inside the site (defaults to the scenario's sample).")
+
+let require_site scenario site =
+  match site with
+  | Some s -> find_site scenario s
+  | None -> List.hd scenario.sites
+
+let sample_binary scenario site =
+  match List.assoc_opt (Site.name site) scenario.samples with
+  | Some (path, install) -> (path, Some install)
+  | None -> failwith "no sample binary at this site; pass --binary"
+
+(* -- Commands -------------------------------------------------------------------- *)
+
+let cmd_sites debug scenario_name =
+  setup_logs debug;
+  let scenario = load_scenario scenario_name in
+  let rows =
+    List.map
+      (fun site ->
+        [
+          Site.name site;
+          Feam_elf.Types.machine_uname (Site.machine site);
+          Distro.name (Site.distro site);
+          Version.to_string (Site.glibc site);
+          string_of_int (List.length (Site.stack_installs site));
+        ])
+      scenario.sites
+  in
+  Table.print
+    (Table.make ~title:("Scenario: " ^ scenario_name)
+       ~header:[ "Site"; "ISA"; "OS"; "glibc"; "MPI stacks" ]
+       rows)
+
+let cmd_describe debug scenario_name site binary =
+  setup_logs debug;
+  let scenario = load_scenario scenario_name in
+  let site = require_site scenario site in
+  let path, install =
+    match binary with
+    | Some p -> (p, None)
+    | None ->
+      let p, i = sample_binary scenario site in
+      (p, i)
+  in
+  let env =
+    match install with
+    | Some i -> Modules_tool.load_stack (Site.base_env site) i
+    | None -> Site.base_env site
+  in
+  match Feam_core.Bdc.describe site env ~path with
+  | Ok d -> Fmt.pr "%a@." Feam_core.Description.pp d
+  | Error e ->
+    Fmt.epr "describe failed: %s@." e;
+    exit 1
+
+let cmd_discover debug scenario_name site =
+  setup_logs debug;
+  let scenario = load_scenario scenario_name in
+  let site = require_site scenario site in
+  let d = Feam_core.Edc.discover ~env_type:`Target site (Site.base_env site) in
+  Fmt.pr "%a@." Feam_core.Discovery.pp d
+
+let cmd_predict debug scenario_name from_site to_site binary basic_only json =
+  setup_logs debug;
+  let scenario = load_scenario scenario_name in
+  let home =
+    require_site scenario
+      (Some (Option.value from_site ~default:(Site.name (List.hd scenario.sites))))
+  in
+  let target =
+    match to_site with
+    | Some t -> find_site scenario t
+    | None -> (
+      match scenario.sites with
+      | _ :: t :: _ -> t
+      | _ -> failwith "need --to site")
+  in
+  let home_path, home_install =
+    match binary with
+    | Some p -> (p, None)
+    | None ->
+      let p, i = sample_binary scenario home in
+      (p, i)
+  in
+  let config = Feam_core.Config.default in
+  let home_env =
+    match home_install with
+    | Some i -> Modules_tool.load_stack (Site.base_env home) i
+    | None -> Site.base_env home
+  in
+  Vfs.remove_tree (Site.vfs target) "/tmp/feam";
+  let clock = Sim_clock.create () in
+  let result =
+    if basic_only then begin
+      (* stage the binary by hand, target phase only *)
+      let bytes =
+        match Vfs.find (Site.vfs home) home_path with
+        | Some { Vfs.kind = Vfs.Elf b; _ } -> b
+        | _ -> failwith "binary not found at source site"
+      in
+      let staged = "/home/user/migrated/" ^ Vfs.basename home_path in
+      Vfs.add (Site.vfs target) staged (Vfs.Elf bytes);
+      Feam_core.Phases.target_phase ~clock config target (Site.base_env target)
+        ~binary_path:staged ()
+    end
+    else
+      match
+        Feam_core.Phases.source_phase ~clock config home home_env
+          ~binary_path:home_path
+      with
+      | Error e -> Error e
+      | Ok bundle ->
+        Fmt.pr "source phase at %s: bundle %.1f MB, %d copies, %d probes@.@."
+          (Site.name home)
+          (float_of_int (Feam_core.Bundle.total_bytes bundle) /. 1048576.0)
+          (List.length bundle.Feam_core.Bundle.copies)
+          (List.length bundle.Feam_core.Bundle.probes);
+        Feam_core.Phases.target_phase ~clock config target
+          (Site.base_env target) ~bundle ()
+  in
+  match result with
+  | Ok report ->
+    if json then
+      print_endline (Feam_util.Json.render (Feam_core.Report.to_json report))
+    else begin
+      print_string (Feam_core.Report.render report);
+      Fmt.pr "@.total simulated time: %s@." (Sim_clock.to_string clock)
+    end
+  | Error e ->
+    Fmt.epr "prediction failed: %s@." e;
+    exit 1
+
+let cmd_bundle debug scenario_name site binary out =
+  setup_logs debug;
+  let scenario = load_scenario scenario_name in
+  let site = require_site scenario site in
+  let path, install =
+    match binary with
+    | Some p -> (p, None)
+    | None ->
+      let p, i = sample_binary scenario site in
+      (p, i)
+  in
+  let env =
+    match install with
+    | Some i -> Modules_tool.load_stack (Site.base_env site) i
+    | None -> Site.base_env site
+  in
+  match
+    Feam_core.Phases.source_phase Feam_core.Config.default site env
+      ~binary_path:path
+  with
+  | Error e ->
+    Fmt.epr "source phase failed: %s@." e;
+    exit 1
+  | Ok bundle -> (
+    let text = Feam_core.Bundle_io.render bundle in
+    match out with
+    | "-" -> print_string text
+    | file ->
+      Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc text);
+      Fmt.pr "bundle written to %s (%d copies, %d probes, %.1f MB of libraries)@."
+        file
+        (List.length bundle.Feam_core.Bundle.copies)
+        (List.length bundle.Feam_core.Bundle.probes)
+        (float_of_int (Feam_core.Bundle.library_bytes bundle) /. 1048576.0))
+
+let cmd_inspect_bundle debug file =
+  setup_logs debug;
+  let text =
+    if file = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text file In_channel.input_all
+  in
+  match Feam_core.Bundle_io.parse text with
+  | Error e ->
+    Fmt.epr "%s@." e;
+    exit 1
+  | Ok bundle ->
+    let d = bundle.Feam_core.Bundle.binary_description in
+    Fmt.pr "bundle created at: %s@." bundle.Feam_core.Bundle.created_at;
+    Fmt.pr "binary: %a@." Feam_core.Description.pp d;
+    Fmt.pr "carries binary bytes: %b@."
+      (bundle.Feam_core.Bundle.binary_bytes <> None);
+    Fmt.pr "library copies (%d):@."
+      (List.length bundle.Feam_core.Bundle.copies);
+    List.iter
+      (fun c ->
+        Fmt.pr "  %-28s from %s (%.1f MB)@." c.Feam_core.Bdc.copy_request
+          c.Feam_core.Bdc.copy_origin_path
+          (float_of_int c.Feam_core.Bdc.copy_declared_size /. 1048576.0))
+      bundle.Feam_core.Bundle.copies;
+    Fmt.pr "probes: %s@."
+      (String.concat ", "
+         (List.map
+            (fun p -> p.Feam_core.Bundle.probe_name)
+            bundle.Feam_core.Bundle.probes))
+
+let cmd_advise debug scenario_name from_site to_site =
+  setup_logs debug;
+  let scenario = load_scenario scenario_name in
+  let home = require_site scenario from_site in
+  let target =
+    match to_site with
+    | Some t -> find_site scenario t
+    | None -> (
+      match List.filter (fun s -> Site.name s <> Site.name home) scenario.sites with
+      | t :: _ -> t
+      | [] -> failwith "need --to site")
+  in
+  let home_path, home_install = sample_binary scenario home in
+  let env =
+    match home_install with
+    | Some i -> Modules_tool.load_stack (Site.base_env home) i
+    | None -> Site.base_env home
+  in
+  Vfs.remove_tree (Site.vfs target) "/tmp/feam";
+  let config = Feam_core.Config.default in
+  match Feam_core.Phases.source_phase config home env ~binary_path:home_path with
+  | Error e ->
+    Fmt.epr "source phase failed: %s@." e;
+    exit 1
+  | Ok bundle -> (
+    match
+      Feam_core.Phases.target_phase config target (Site.base_env target) ~bundle ()
+    with
+    | Error e ->
+      Fmt.epr "target phase failed: %s@." e;
+      exit 1
+    | Ok report ->
+      let source =
+        Feam_toolchain.Compile.program ~language:Feam_mpi.Stack.Fortran
+          "sample_app"
+      in
+      let advice =
+        Feam_core.Advisor.advise target
+          ~binary_prediction:(Feam_core.Report.prediction report)
+          ~source:(Some source)
+      in
+      Fmt.pr "target: %s@." (Site.name target);
+      Fmt.pr "recommendation: %s@."
+        (Feam_core.Advisor.strategy_to_string advice.Feam_core.Advisor.strategy);
+      Fmt.pr "rationale: %s@." advice.Feam_core.Advisor.rationale)
+
+let cmd_rank debug scenario_name from_site =
+  setup_logs debug;
+  let scenario = load_scenario scenario_name in
+  let home = require_site scenario from_site in
+  let home_path, home_install = sample_binary scenario home in
+  let env =
+    match home_install with
+    | Some i -> Modules_tool.load_stack (Site.base_env home) i
+    | None -> Site.base_env home
+  in
+  let config = Feam_core.Config.default in
+  match Feam_core.Phases.source_phase config home env ~binary_path:home_path with
+  | Error e ->
+    Fmt.epr "source phase failed: %s@." e;
+    exit 1
+  | Ok bundle ->
+    let targets =
+      List.filter (fun s -> Site.name s <> Site.name home) scenario.sites
+    in
+    let ranked = Feam_evalharness.Ranking.rank config bundle targets in
+    Table.print (Feam_evalharness.Ranking.table ranked)
+
+let cmd_scenario_template debug =
+  setup_logs debug;
+  print_string Feam_evalharness.Scenario.template
+
+let cmd_config_check debug file =
+  setup_logs debug;
+  let body =
+    if file = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text file In_channel.input_all
+  in
+  match Feam_core.Config.of_file_body body with
+  | Ok _ -> Fmt.pr "configuration OK@."
+  | Error errors ->
+    List.iter (fun e -> Fmt.epr "error: %s@." e) errors;
+    exit 1
+
+(* -- Cmdliner wiring ---------------------------------------------------------------- *)
+
+let sites_cmd =
+  Cmd.v (Cmd.info "sites" ~doc:"List the sites of a scenario")
+    Term.(const cmd_sites $ debug_arg $ scenario_arg)
+
+let describe_cmd =
+  Cmd.v
+    (Cmd.info "describe" ~doc:"Run the Binary Description Component on a binary")
+    Term.(const cmd_describe $ debug_arg $ scenario_arg $ site_arg $ binary_arg)
+
+let discover_cmd =
+  Cmd.v
+    (Cmd.info "discover" ~doc:"Run the Environment Discovery Component on a site")
+    Term.(const cmd_discover $ debug_arg $ scenario_arg $ site_arg)
+
+let from_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "from" ] ~docv:"SITE" ~doc:"Guaranteed execution site.")
+
+let to_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "to" ] ~docv:"SITE" ~doc:"Target site.")
+
+let basic_arg =
+  Arg.(
+    value & flag
+    & info [ "basic" ]
+        ~doc:"Basic prediction only: skip the source phase (no probes, no resolution).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+
+let predict_cmd =
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Predict execution readiness of a binary at a target site")
+    Term.(
+      const cmd_predict $ debug_arg $ scenario_arg $ from_arg $ to_arg
+      $ binary_arg $ basic_arg $ json_arg)
+
+let config_file_arg =
+  Arg.(
+    value & pos 0 string "-"
+    & info [] ~docv:"FILE" ~doc:"Configuration file ('-' for stdin).")
+
+let config_check_cmd =
+  Cmd.v (Cmd.info "config-check" ~doc:"Validate a FEAM configuration file")
+    Term.(const cmd_config_check $ debug_arg $ config_file_arg)
+
+let out_arg =
+  Arg.(
+    value & opt string "-"
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file ('-' for stdout).")
+
+let bundle_cmd =
+  Cmd.v
+    (Cmd.info "bundle" ~doc:"Run the source phase and write the bundle artifact")
+    Term.(const cmd_bundle $ debug_arg $ scenario_arg $ site_arg $ binary_arg $ out_arg)
+
+let bundle_file_arg =
+  Arg.(
+    value & pos 0 string "-"
+    & info [] ~docv:"FILE" ~doc:"Bundle artifact ('-' for stdin).")
+
+let inspect_bundle_cmd =
+  Cmd.v
+    (Cmd.info "inspect-bundle" ~doc:"Summarize a serialized bundle artifact")
+    Term.(const cmd_inspect_bundle $ debug_arg $ bundle_file_arg)
+
+let scenario_template_cmd =
+  Cmd.v
+    (Cmd.info "scenario-template" ~doc:"Print a commented scenario-file template")
+    Term.(const cmd_scenario_template $ debug_arg)
+
+let rank_cmd =
+  Cmd.v
+    (Cmd.info "rank" ~doc:"Rank the scenario's sites for a binary by readiness                            and time-to-first-result")
+    Term.(const cmd_rank $ debug_arg $ scenario_arg $ from_arg)
+
+let advise_cmd =
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Recommend binary migration vs recompilation for a target")
+    Term.(const cmd_advise $ debug_arg $ scenario_arg $ from_arg $ to_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "feam" ~version:"1.0.0"
+       ~doc:"Framework for Efficient Application Migration (simulated sites)")
+    [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; config_check_cmd;
+      bundle_cmd; inspect_bundle_cmd; advise_cmd; rank_cmd; scenario_template_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/bundle_workflow.mli:

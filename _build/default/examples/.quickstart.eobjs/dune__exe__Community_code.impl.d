@@ -1,0 +1,1 @@
+examples/community_code.ml: Feam_core Feam_evalharness Feam_mpi Feam_sysmodel Feam_toolchain Feam_util Fmt List Option Params Site Sites Stack_install String Table Vfs

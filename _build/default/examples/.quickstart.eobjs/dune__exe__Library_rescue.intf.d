@@ -1,0 +1,1 @@
+examples/library_rescue.mli:

@@ -1,0 +1,1 @@
+examples/site_survey.mli:

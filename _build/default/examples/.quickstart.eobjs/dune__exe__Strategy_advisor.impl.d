@@ -1,0 +1,1 @@
+examples/strategy_advisor.ml: Feam_core Feam_elf Feam_evalharness Feam_mpi Feam_sysmodel Feam_toolchain Feam_util Fmt List Modules_tool Params Result Site Sites Stack_install String Table Vfs

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Batch Cost Feam_sysmodel Feam_toolchain List Predict Printf Site Stack_install Tools

@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Feam_sysmodel Feam_toolchain Feam_util Predict

@@ -1,0 +1,1 @@
+lib/core/bdc.ml: Cost Description Env Feam_dynlinker Feam_elf Feam_sysmodel Feam_util Hashtbl List Mpi_ident Objdump_parse Site Soname Str_split Utilities Vfs

@@ -1,0 +1,1 @@
+lib/core/bdc.mli: Description Feam_sysmodel Feam_util

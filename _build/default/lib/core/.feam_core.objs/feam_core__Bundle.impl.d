@@ -1,0 +1,1 @@
+lib/core/bundle.ml: Bdc Description Discovery Feam_util Hashtbl List Soname

@@ -1,0 +1,1 @@
+lib/core/bundle.mli: Bdc Description Discovery

@@ -1,0 +1,1 @@
+lib/core/bundle_io.ml: Base64 Bdc Buffer Bundle Description Discovery Feam_elf Feam_util List Mpi_ident Objdump_parse Option Printf Soname String Version

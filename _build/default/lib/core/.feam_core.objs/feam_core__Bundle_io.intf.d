@@ -1,0 +1,1 @@
+lib/core/bundle_io.mli: Bundle

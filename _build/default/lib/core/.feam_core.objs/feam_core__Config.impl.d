@@ -1,0 +1,1 @@
+lib/core/config.ml: Buffer Feam_mpi Impl List Option Printf Stack String

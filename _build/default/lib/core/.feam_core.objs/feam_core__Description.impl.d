@@ -1,0 +1,1 @@
+lib/core/description.ml: Feam_elf Feam_mpi Feam_toolchain Feam_util Fmt List Mpi_ident Objdump_parse Option Soname Version

@@ -1,0 +1,1 @@
+lib/core/description.mli: Feam_elf Feam_util Fmt Mpi_ident Objdump_parse

@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Buffer Feam_elf Feam_mpi Feam_sysmodel Feam_util List Predict Printf

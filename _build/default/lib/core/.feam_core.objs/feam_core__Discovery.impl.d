@@ -1,0 +1,1 @@
+lib/core/discovery.ml: Compiler Feam_elf Feam_mpi Feam_util Fmt Impl String Version

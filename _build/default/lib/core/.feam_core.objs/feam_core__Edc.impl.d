@@ -1,0 +1,1 @@
+lib/core/edc.ml: Bdc Cost Discovery Feam_dynlinker Feam_elf Feam_sysmodel Feam_toolchain Feam_util List Modules_tool Option Site Stack_install String Utilities Version Vfs

@@ -1,0 +1,1 @@
+lib/core/edc.mli: Discovery Feam_elf Feam_sysmodel Feam_util

@@ -1,0 +1,1 @@
+lib/core/mpi_ident.ml: Feam_mpi Feam_util Impl List Soname

@@ -1,0 +1,1 @@
+lib/core/mpi_ident.mli: Feam_mpi

@@ -1,0 +1,1 @@
+lib/core/objdump_parse.ml: Feam_elf Feam_sysmodel List String

@@ -1,0 +1,1 @@
+lib/core/objdump_parse.mli: Feam_elf

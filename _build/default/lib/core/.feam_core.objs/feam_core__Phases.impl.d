@@ -1,0 +1,1 @@
+lib/core/phases.ml: Bdc Bundle Cost Description Discovery Edc Feam_mpi Feam_sysmodel Feam_toolchain List Logs Mpi_ident Report Site Tec Vfs

@@ -1,0 +1,1 @@
+lib/core/phases.mli: Bundle Config Feam_sysmodel Feam_util Report

@@ -1,0 +1,1 @@
+lib/core/predict.ml: Feam_elf Feam_mpi Feam_util Fmt List Version

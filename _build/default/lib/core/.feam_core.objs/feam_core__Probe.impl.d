@@ -1,0 +1,1 @@
+lib/core/probe.ml: Batch Bundle Config Cost Feam_dynlinker Feam_elf Feam_sysmodel Feam_toolchain List Modules_tool Option Printf Resolve_model Result Site Tools Vfs

@@ -1,0 +1,1 @@
+lib/core/probe.mli: Bundle Config Feam_sysmodel Feam_util

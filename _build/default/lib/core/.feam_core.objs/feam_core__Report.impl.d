@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Diagnose Feam_elf Feam_util Fmt List Option Predict Printf String

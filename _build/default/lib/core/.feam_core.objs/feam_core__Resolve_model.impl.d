@@ -1,0 +1,1 @@
+lib/core/resolve_model.ml: Bdc Bundle Config Cost Description Env Feam_dynlinker Feam_sysmodel Feam_util Hashtbl List Option Predict Printf Site Version Vfs

@@ -1,0 +1,1 @@
+lib/core/resolve_model.mli: Bundle Config Feam_elf Feam_sysmodel Feam_util

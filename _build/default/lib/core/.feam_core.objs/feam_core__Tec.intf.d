@@ -1,0 +1,1 @@
+lib/core/tec.mli: Bundle Config Description Discovery Feam_mpi Feam_sysmodel Feam_util Predict

@@ -1,0 +1,215 @@
+(* Binary Description Component (paper §V.A).
+
+   Gathers information about an application binary and its dependencies
+   using the emulated system utilities, with the same fallback chain as
+   the real implementation: objdump is primary; file(1), ldd and the
+   locate/find searches cover sites where tools are missing.  At a
+   guaranteed execution environment it additionally collects a copy and a
+   description of every shared library the binary links against (except
+   the C library), recursively over the dependency closure. *)
+
+open Feam_util
+open Feam_sysmodel
+
+type library_copy = {
+  copy_request : string;      (* the DT_NEEDED name this copy satisfies *)
+  copy_origin_path : string;  (* where it was found at the guaranteed site *)
+  copy_bytes : string;        (* the library image itself *)
+  copy_declared_size : int;   (* on-disk size, for bundle accounting *)
+  copy_description : Description.t;
+}
+
+type source_output = {
+  binary_description : Description.t;
+  copies : library_copy list;
+  unlocatable : string list; (* dependencies we failed to find for copying *)
+}
+
+let comment_provenance ?clock site path =
+  match Utilities.readelf_comment ?clock site path with
+  | Ok text ->
+    Objdump_parse.provenance_of_comments (Objdump_parse.parse_readelf_comment text)
+  | Error _ -> { Objdump_parse.compiler_banner = None; build_os = None }
+
+(* Primary path: objdump -p. *)
+let describe_via_objdump ?clock site path =
+  match Utilities.objdump_p ?clock site path with
+  | Error e -> Error (Utilities.error_to_string e)
+  | Ok text -> (
+    match Objdump_parse.parse_objdump_p text with
+    | Error e -> Error e
+    | Ok info ->
+      let provenance = comment_provenance ?clock site path in
+      Description.of_dynamic_info ~path ~provenance info)
+
+(* Fallback: file(1) for format/ISA, ldd -v for dependencies and version
+   requirements (paper §V.A notes ldd "cannot be relied on to always
+   provide this information" — it fails for foreign-architecture
+   binaries, and then we must give up on those fields). *)
+let describe_via_file_and_ldd ?clock site env path =
+  match Utilities.file_cmd ?clock site path with
+  | Error e -> Error (Utilities.error_to_string e)
+  | Ok file_text ->
+    if not (Str_split.contains ~sub:"ELF" file_text) then
+      Error (path ^ ": not an ELF binary")
+    else begin
+      let machine_class =
+        [
+          ("Advanced Micro Devices X86-64", (Feam_elf.Types.X86_64, Feam_elf.Types.C64, "elf64-x86-64"));
+          ("Intel 80386", (Feam_elf.Types.I386, Feam_elf.Types.C32, "elf32-i386"));
+          ("PowerPC64", (Feam_elf.Types.PPC64, Feam_elf.Types.C64, "elf64-powerpc"));
+          ("PowerPC", (Feam_elf.Types.PPC, Feam_elf.Types.C32, "elf32-powerpc"));
+          ("Sparc v9", (Feam_elf.Types.SPARCV9, Feam_elf.Types.C64, "elf64-sparc"));
+          ("Sparc", (Feam_elf.Types.SPARC, Feam_elf.Types.C32, "elf32-sparc"));
+          ("Intel IA-64", (Feam_elf.Types.IA64, Feam_elf.Types.C64, "elf64-ia64-little"));
+        ]
+        |> List.find_opt (fun (tag, _) -> Str_split.contains ~sub:tag file_text)
+      in
+      match machine_class with
+      | None -> Error (path ^ ": unrecognized ELF machine in file(1) output")
+      | Some (_, (machine, elf_class, file_format)) ->
+        let needed, verneeds =
+          match Feam_dynlinker.Ldd.run ?clock site env path with
+          | Ok resolution ->
+            let root = resolution.Feam_dynlinker.Resolve.root_spec in
+            ( root.Feam_elf.Spec.needed,
+              List.map
+                (fun vn ->
+                  (vn.Feam_elf.Spec.vn_file, vn.Feam_elf.Spec.vn_versions))
+                root.Feam_elf.Spec.verneeds )
+          | Error _ -> ([], [])
+        in
+        let provenance = comment_provenance ?clock site path in
+        Ok
+          {
+            Description.path;
+            file_format;
+            machine;
+            elf_class;
+            soname = None; (* not recoverable without objdump *)
+            needed;
+            rpath = None;
+            runpath = None;
+            verneeds;
+            required_glibc = Description.required_glibc_of_verneeds verneeds;
+            mpi = Mpi_ident.identify needed;
+            provenance;
+          }
+    end
+
+(* [describe ?clock site env ~path] — full description with fallbacks. *)
+let describe ?clock site env ~path =
+  match describe_via_objdump ?clock site path with
+  | Ok d -> Ok d
+  | Error _ -> describe_via_file_and_ldd ?clock site env path
+
+(* -- Library location (paper §V.A, three search methods) --------------- *)
+
+let is_c_library name =
+  match Soname.of_string name with
+  | Some s -> Soname.base s = "libc" || Soname.base s = "ld-linux"
+  | None -> false
+
+(* Locate one dependency by name using locate(1), then find(1) over the
+   common library locations and LD_LIBRARY_PATH. *)
+let locate_library ?clock site env name =
+  let pick paths =
+    (* Prefer an exact basename match; ignore .so dev symlinks. *)
+    paths
+    |> List.filter (fun p -> Vfs.basename p = name)
+    |> fun l -> List.nth_opt l 0
+  in
+  let via_locate () =
+    match Utilities.locate ?clock site name with
+    | Ok paths -> pick paths
+    | Error _ -> None
+  in
+  let via_find () =
+    let dirs =
+      Site.default_lib_dirs site @ Env.ld_library_path env
+      @ Site.ld_conf_dirs site
+    in
+    match Utilities.find_in_dirs ?clock site dirs name with
+    | Ok paths -> pick paths
+    | Error _ -> None
+  in
+  match via_locate () with Some p -> Some p | None -> via_find ()
+
+(* Paths of the binary's shared libraries at a guaranteed site: ldd when
+   it works, per-name searches otherwise. *)
+let dependency_paths ?clock site env ~path ~needed =
+  match Feam_dynlinker.Ldd.run ?clock site env path with
+  | Ok resolution ->
+    let from_ldd =
+      resolution.Feam_dynlinker.Resolve.resolved
+      |> List.map (fun r ->
+             (r.Feam_dynlinker.Resolve.lib_name, Some r.Feam_dynlinker.Resolve.lib_path))
+    in
+    let missing =
+      resolution.Feam_dynlinker.Resolve.missing |> List.map (fun m -> (m, None))
+    in
+    from_ldd @ missing
+  | Error _ ->
+    (* ldd unusable: search for each direct dependency by name, then
+       recurse through discovered libraries' own dependencies. *)
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    let rec visit name =
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        let found = locate_library ?clock site env name in
+        acc := (name, found) :: !acc;
+        match found with
+        | None -> ()
+        | Some p -> (
+          match describe_via_objdump ?clock site p with
+          | Ok d -> List.iter visit d.Description.needed
+          | Error _ -> ())
+      end
+    in
+    List.iter visit needed;
+    List.rev !acc
+
+(* [gather_source ?clock site env ~path] — the source phase's BDC run:
+   describe the binary, then copy and describe every shared library in
+   its dependency closure except the C library. *)
+let gather_source ?clock site env ~path =
+  match describe ?clock site env ~path with
+  | Error e -> Error e
+  | Ok binary_description ->
+    let deps =
+      dependency_paths ?clock site env ~path
+        ~needed:binary_description.Description.needed
+    in
+    let copies = ref [] in
+    let unlocatable = ref [] in
+    List.iter
+      (fun (name, found) ->
+        if not (is_c_library name) then
+          match found with
+          | None -> unlocatable := name :: !unlocatable
+          | Some origin -> (
+            match Vfs.find (Site.vfs site) origin with
+            | Some { Vfs.kind = Vfs.Elf bytes; declared_size } -> (
+              Cost.charge clock
+                (Cost.copy_per_mb *. (float_of_int declared_size /. 1048576.0));
+              match describe ?clock site env ~path:origin with
+              | Ok copy_description ->
+                copies :=
+                  {
+                    copy_request = name;
+                    copy_origin_path = origin;
+                    copy_bytes = bytes;
+                    copy_declared_size = declared_size;
+                    copy_description;
+                  }
+                  :: !copies
+              | Error _ -> unlocatable := name :: !unlocatable)
+            | _ -> unlocatable := name :: !unlocatable))
+      deps;
+    Ok
+      {
+        binary_description;
+        copies = List.rev !copies;
+        unlocatable = List.rev !unlocatable;
+      }

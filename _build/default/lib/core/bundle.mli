@@ -1,0 +1,38 @@
+(** The source phase's output (paper §V): the binary's description,
+    optionally the binary itself, copies of its shared libraries,
+    hello-world probes compiled with the binary's stack, and the
+    guaranteed environment's discovery record — bundled for transfer to
+    target sites. *)
+
+type probe = {
+  probe_name : string;
+  probe_bytes : string;  (** ELF image compiled at the guaranteed site *)
+  probe_stack_slug : string;  (** the stack it was compiled with *)
+  probe_declared_size : int;
+}
+
+type t = {
+  created_at : string;  (** guaranteed site name *)
+  binary_description : Description.t;
+  binary_bytes : string option;
+  binary_declared_size : int;
+  copies : Bdc.library_copy list;
+  unlocatable : string list;
+  probes : probe list;
+  source_discovery : Discovery.t;
+}
+
+(** Size of the shared-library part of the bundle in bytes — the figure
+    the paper reports averaging 45 MB per site (§VI.C). *)
+val library_bytes : t -> int
+
+(** Total bundle size, including the binary and probes. *)
+val total_bytes : t -> int
+
+(** Copies that can satisfy a given DT_NEEDED name, applying the soname
+    compatibility convention (§III.D). *)
+val copies_for : t -> string -> Bdc.library_copy list
+
+(** Merged size of several bundles' distinct library copies (the
+    evaluation's per-site bundles). *)
+val merged_library_bytes : t list -> int

@@ -1,0 +1,20 @@
+(** Serialization of source-phase bundles: the artifact the user copies
+    from the guaranteed execution environment to each target site
+    (paper §V).
+
+    Line-oriented text container with base64-embedded ELF images.
+    Derived description fields (required C library version, MPI
+    identification) are recomputed on load from the stored primitives. *)
+
+(** First line of every bundle artifact. *)
+val magic : string
+
+type parse_error = { line : int; message : string }
+
+val parse_error_to_string : parse_error -> string
+
+(** Serialize a bundle to its textual artifact. *)
+val render : Bundle.t -> string
+
+(** Read a bundle artifact back; errors carry a line/context message. *)
+val parse : string -> (Bundle.t, string) result

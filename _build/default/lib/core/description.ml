@@ -1,0 +1,79 @@
+(* The Binary Description Component's output record: the information
+   paper Figure 3 lists — ISA and file format, library name/version when
+   the binary is itself a shared library, required shared libraries,
+   C library version requirements, and the MPI stack / OS / toolchain
+   provenance that built the binary. *)
+
+open Feam_util
+
+type t = {
+  path : string;
+  file_format : string; (* objdump format descriptor, e.g. "elf64-x86-64" *)
+  machine : Feam_elf.Types.machine;
+  elf_class : Feam_elf.Types.elf_class;
+  soname : Soname.t option; (* set when the binary is a shared library *)
+  needed : string list;
+  rpath : string option;
+  runpath : string option;
+  verneeds : (string * string list) list;
+  (* The binary's *required C library version*: newest glibc symbol
+     version referenced (paper §III.C), not the build version. *)
+  required_glibc : Version.t option;
+  mpi : Mpi_ident.identification option;
+  provenance : Objdump_parse.provenance;
+}
+
+let is_shared_library t = t.soname <> None
+
+(* Embedded version of a shared library, extracted from its official
+   shared object name (paper §V.A). *)
+let library_version t = Option.map Soname.version t.soname
+
+let required_glibc_of_verneeds verneeds =
+  verneeds
+  |> List.concat_map snd
+  |> List.filter_map Feam_toolchain.Glibc.version_of_symbol
+  |> List.fold_left
+       (fun acc v ->
+         match acc with None -> Some v | Some a -> Some (Version.max a v))
+       None
+
+let of_dynamic_info ~path ~provenance (info : Objdump_parse.dynamic_info) =
+  match Objdump_parse.machine_of_format info.Objdump_parse.file_format with
+  | None -> Error ("unrecognized file format: " ^ info.Objdump_parse.file_format)
+  | Some (machine, elf_class) ->
+    Ok
+      {
+        path;
+        file_format = info.Objdump_parse.file_format;
+        machine;
+        elf_class;
+        soname = Option.bind info.Objdump_parse.soname Soname.of_string;
+        needed = info.Objdump_parse.needed;
+        rpath = info.Objdump_parse.rpath;
+        runpath = info.Objdump_parse.runpath;
+        verneeds = info.Objdump_parse.verneeds;
+        required_glibc = required_glibc_of_verneeds info.Objdump_parse.verneeds;
+        mpi = Mpi_ident.identify info.Objdump_parse.needed;
+        provenance;
+      }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>binary: %s@ format: %s@ soname: %a@ needed: %a@ required C library: \
+     %a@ MPI implementation: %a@ built by: %a@ built on: %a@]"
+    t.path t.file_format
+    Fmt.(option ~none:(any "-") (using Soname.to_string string))
+    t.soname
+    Fmt.(list ~sep:(any ", ") string)
+    t.needed
+    Fmt.(option ~none:(any "unknown") (using Version.to_string string))
+    t.required_glibc
+    Fmt.(
+      option ~none:(any "none detected")
+        (using (fun i -> Feam_mpi.Impl.name i.Mpi_ident.impl) string))
+    t.mpi
+    Fmt.(option ~none:(any "unknown") string)
+    t.provenance.Objdump_parse.compiler_banner
+    Fmt.(option ~none:(any "unknown") string)
+    t.provenance.Objdump_parse.build_os

@@ -1,0 +1,20 @@
+(** Remediation guidance: turns a prediction's determinant record into
+    concrete next steps, split by who can act (the scientist, the site
+    administrators, or only a rebuild) — the paper's §IV observation
+    about which determinants are fixable made actionable. *)
+
+type severity =
+  | User_fixable  (** the scientist can act alone *)
+  | Needs_administrator  (** requires site privileges *)
+  | Needs_rebuild  (** only recompilation can fix it *)
+
+type remedy = { severity : severity; action : string }
+
+val severity_to_string : severity -> string
+
+(** Remedies for one prediction, in determinant order; empty when the
+    prediction is ready. *)
+val remedies : Predict.t -> remedy list
+
+(** Render remediation guidance as report text. *)
+val render : Predict.t -> string

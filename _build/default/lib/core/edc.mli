@@ -1,0 +1,59 @@
+(** Environment Discovery Component (paper §V.B).
+
+    Gathers information about a computing environment: ISA via uname, OS
+    via /proc/version and /etc/*release, the C library version by running
+    the C library binary (with an API fallback), and the available/loaded
+    MPI stacks via the user-environment management tools with a
+    path-search fallback. *)
+
+val discover_isa :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  Feam_elf.Types.machine option
+
+val discover_os :
+  ?clock:Feam_util.Sim_clock.t -> Feam_sysmodel.Site.t -> string option
+
+val discover_kernel :
+  ?clock:Feam_util.Sim_clock.t -> Feam_sysmodel.Site.t -> string option
+
+(** Parse the banner the C library binary prints when executed. *)
+val parse_glibc_banner : string -> Feam_util.Version.t option
+
+val discover_glibc :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  Feam_util.Version.t option
+
+(** Available MPI stacks: user-environment management tools first,
+    filesystem path search as fallback. *)
+val discover_stacks :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  Discovery.discovered_stack list
+
+(** The stack loaded in the given session: module list first, PATH
+    inspection second. *)
+val discover_current_stack :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  Feam_sysmodel.Env.t ->
+  Discovery.discovered_stack option
+
+(** Shared libraries of a binary missing under the given environment:
+    ldd when usable, name-by-name search otherwise. *)
+val missing_libraries :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  Feam_sysmodel.Env.t ->
+  binary_path:string ->
+  needed:string list ->
+  string list
+
+(** Full environment discovery. *)
+val discover :
+  ?clock:Feam_util.Sim_clock.t ->
+  env_type:[ `Target | `Guaranteed ] ->
+  Feam_sysmodel.Site.t ->
+  Feam_sysmodel.Env.t ->
+  Discovery.t

@@ -1,0 +1,159 @@
+(* Parsers for the text output of the GNU binary utilities, which is the
+   form in which the BDC consumes binary metadata (paper §V.A: "Most of
+   the information about a binary can be extracted with ... objdump"). *)
+
+type dynamic_info = {
+  file_format : string;                     (* "elf64-x86-64" *)
+  needed : string list;
+  soname : string option;
+  rpath : string option;
+  runpath : string option;
+  verneeds : (string * string list) list;   (* file -> version names *)
+  verdefs : string list;
+}
+
+let empty_dynamic file_format =
+  {
+    file_format;
+    needed = [];
+    soname = None;
+    rpath = None;
+    runpath = None;
+    verneeds = [];
+    verdefs = [];
+  }
+
+(* Tokenize a line into whitespace-separated words. *)
+let words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (( <> ) "")
+
+(* Parse `objdump -p` output. *)
+let parse_objdump_p text =
+  let lines = String.split_on_char '\n' text in
+  (* First line: "<path>:     file format <fmt>" *)
+  let file_format =
+    List.find_map
+      (fun line ->
+        match Feam_sysmodel.Str_split.split_on_string ~sep:"file format " line with
+        | [ _; fmt ] -> Some (String.trim fmt)
+        | _ -> None)
+      lines
+  in
+  match file_format with
+  | None -> Error "objdump output: no file format line"
+  | Some file_format ->
+    let info = ref (empty_dynamic file_format) in
+    let section = ref `None in
+    let current_verneed_file = ref None in
+    let flush_verneed () = current_verneed_file := None in
+    List.iter
+      (fun raw_line ->
+        let line = String.trim raw_line in
+        if line = "" then ()
+        else if line = "Dynamic Section:" then begin
+          flush_verneed ();
+          section := `Dynamic
+        end
+        else if line = "Version References:" then begin
+          flush_verneed ();
+          section := `Verneed
+        end
+        else if line = "Version definitions:" then begin
+          flush_verneed ();
+          section := `Verdef
+        end
+        else
+          match !section with
+          | `None -> ()
+          | `Dynamic -> (
+            match words line with
+            | [ "NEEDED"; value ] -> info := { !info with needed = !info.needed @ [ value ] }
+            | [ "SONAME"; value ] -> info := { !info with soname = Some value }
+            | [ "RPATH"; value ] -> info := { !info with rpath = Some value }
+            | [ "RUNPATH"; value ] -> info := { !info with runpath = Some value }
+            | _ -> () (* STRTAB etc. *))
+          | `Verneed ->
+            if String.starts_with ~prefix:"required from " line then begin
+              let file =
+                String.sub line 14 (String.length line - 14)
+                |> fun s ->
+                if String.length s > 0 && s.[String.length s - 1] = ':' then
+                  String.sub s 0 (String.length s - 1)
+                else s
+              in
+              current_verneed_file := Some file;
+              info := { !info with verneeds = !info.verneeds @ [ (file, []) ] }
+            end
+            else (
+              (* "    0xHASH 0x00 02 GLIBC_2.3.4" *)
+              match (List.rev (words line), !current_verneed_file) with
+              | version :: _, Some file ->
+                info :=
+                  {
+                    !info with
+                    verneeds =
+                      List.map
+                        (fun (f, vs) ->
+                          if f = file then (f, vs @ [ version ]) else (f, vs))
+                        !info.verneeds;
+                  }
+              | _ -> ())
+          | `Verdef -> (
+            (* "1 0x01 0xHASH libfoo.so.1" *)
+            match List.rev (words line) with
+            | name :: _ when String.length name > 0 && name.[0] <> '0' ->
+              info := { !info with verdefs = !info.verdefs @ [ name ] }
+            | _ -> ()))
+      lines;
+    Ok !info
+
+(* Map an objdump format descriptor back to machine and class. *)
+let machine_of_format = function
+  | "elf64-x86-64" -> Some (Feam_elf.Types.X86_64, Feam_elf.Types.C64)
+  | "elf32-i386" -> Some (Feam_elf.Types.I386, Feam_elf.Types.C32)
+  | "elf64-powerpc" -> Some (Feam_elf.Types.PPC64, Feam_elf.Types.C64)
+  | "elf32-powerpc" -> Some (Feam_elf.Types.PPC, Feam_elf.Types.C32)
+  | "elf64-sparc" -> Some (Feam_elf.Types.SPARCV9, Feam_elf.Types.C64)
+  | "elf32-sparc" -> Some (Feam_elf.Types.SPARC, Feam_elf.Types.C32)
+  | "elf64-ia64-little" -> Some (Feam_elf.Types.IA64, Feam_elf.Types.C64)
+  | _ -> None
+
+(* Parse `readelf -p .comment` output into its strings. *)
+let parse_readelf_comment text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         (* "  [     0]  GCC: (GNU) 4.4.5" *)
+         match String.index_opt line ']' with
+         | Some i when String.length line > i + 2 && String.trim (String.sub line 0 i) <> "" ->
+           let lbracket = String.index_opt line '[' in
+           if lbracket = None then None
+           else Some (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+         | _ -> None)
+
+(* Extract compiler and OS provenance from .comment strings: the BDC uses
+   these to report what toolchain and OS built the binary (§V.A). *)
+type provenance = { compiler_banner : string option; build_os : string option }
+
+let provenance_of_comments comments =
+  let compiler_banner =
+    List.find_opt
+      (fun c ->
+        String.starts_with ~prefix:"GCC:" c
+        || String.starts_with ~prefix:"Intel(R)" c
+        || String.starts_with ~prefix:"PGI" c)
+      comments
+  in
+  let build_os =
+    (* Distro names appear parenthesized in GCC/ld comment strings. *)
+    List.find_map
+      (fun c ->
+        let find_tag tag = Feam_sysmodel.Str_split.contains ~sub:tag c in
+        if find_tag "Red Hat" then Some "Red Hat"
+        else if find_tag "CentOS" then Some "CentOS"
+        else if find_tag "SUSE" then Some "SUSE"
+        else None)
+      comments
+  in
+  { compiler_banner; build_os }

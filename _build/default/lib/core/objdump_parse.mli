@@ -1,0 +1,29 @@
+(** Parsers for the text output of the GNU binary utilities — the form in
+    which the BDC consumes binary metadata (paper §V.A). *)
+
+type dynamic_info = {
+  file_format : string;  (** "elf64-x86-64" *)
+  needed : string list;
+  soname : string option;
+  rpath : string option;
+  runpath : string option;
+  verneeds : (string * string list) list;  (** file -> version names *)
+  verdefs : string list;
+}
+
+(** Parse `objdump -p` output (format line, Dynamic Section, Version
+    References/definitions). *)
+val parse_objdump_p : string -> (dynamic_info, string) result
+
+(** Map an objdump format descriptor back to machine and class. *)
+val machine_of_format :
+  string -> (Feam_elf.Types.machine * Feam_elf.Types.elf_class) option
+
+(** Parse `readelf -p .comment` output into its strings. *)
+val parse_readelf_comment : string -> string list
+
+(** Compiler and OS provenance extracted from .comment strings (what
+    toolchain and OS built the binary, §V.A). *)
+type provenance = { compiler_banner : string option; build_os : string option }
+
+val provenance_of_comments : string list -> provenance

@@ -1,0 +1,103 @@
+(* The prediction model (paper §III, Figure 1): four determinants decide
+   whether an application binary is ready to execute at a target site.
+
+     1. Was the application compiled for a compatible ISA?
+     2. Is there a compatible MPI stack functioning?
+     3. Are the application's C library requirements met?
+     4. Are all required shared libraries available (after resolution)? *)
+
+open Feam_util
+
+type isa_check = {
+  isa_compatible : bool;
+  binary_machine : Feam_elf.Types.machine;
+  binary_class : Feam_elf.Types.elf_class;
+  site_machine : Feam_elf.Types.machine option;
+}
+
+type stack_check = {
+  stack_compatible : bool;
+  requested_impl : Feam_mpi.Impl.t option; (* None for serial binaries *)
+  candidates_found : string list;          (* slugs with matching implementation *)
+  functioning : string option;             (* the chosen, probe-verified stack *)
+  probe_failures : (string * string) list; (* slug, failure detail *)
+}
+
+type clib_check = {
+  clib_compatible : bool;
+  required : Version.t option;
+  available : Version.t option;
+}
+
+type libs_check = {
+  libs_compatible : bool;
+  missing : string list;                 (* before resolution *)
+  resolved_by_copies : string list;      (* staged from the bundle *)
+  unresolved : (string * string) list;   (* name, why resolution failed *)
+}
+
+type determinants = {
+  isa : isa_check;
+  stack : stack_check option;  (* None when evaluation stopped earlier *)
+  clib : clib_check;
+  libs : libs_check option;
+}
+
+(* An execution plan: what to set up at the target so the predicted-ready
+   binary runs. *)
+type plan = {
+  chosen_stack_slug : string option; (* None for serial binaries *)
+  module_loads : string list;
+  ld_library_path_additions : string list;
+  staged_copies : (string * string) list; (* needed name -> staged path *)
+  launcher : string;
+}
+
+type verdict = Ready of plan | Not_ready of string list
+
+type t = { verdict : verdict; determinants : determinants }
+
+let is_ready t = match t.verdict with Ready _ -> true | Not_ready _ -> false
+
+let reasons t = match t.verdict with Ready _ -> [] | Not_ready r -> r
+
+(* The prediction model's ISA rule: exact machine match, or the
+   ubiquitous 32-bit-x86-on-x86-64 compatibility mode.  Word length is
+   implied by the machine comparison (paper §III.A considers both ISA
+   and bitness). *)
+let isa_rule ~binary_machine ~site_machine =
+  binary_machine = site_machine
+  || (binary_machine = Feam_elf.Types.I386 && site_machine = Feam_elf.Types.X86_64)
+
+(* The C-library rule (§III.C): the target's version must be greater than
+   or equal to the binary's required version.  Unknown target version is
+   treated as incompatible — the site cannot be vouched for. *)
+let clib_rule ~required ~available =
+  match (required, available) with
+  | None, _ -> true (* binary states no versioned requirement *)
+  | Some _, None -> false
+  | Some r, Some a -> Version.(r <= a)
+
+let pp_determinant_summary ppf t =
+  let d = t.determinants in
+  Fmt.pf ppf "@[<v>1) ISA compatible: %b@ " d.isa.isa_compatible;
+  (match d.stack with
+  | None -> Fmt.pf ppf "2) MPI stack: not evaluated@ "
+  | Some s ->
+    Fmt.pf ppf "2) MPI stack functioning: %b%a@ " s.stack_compatible
+      Fmt.(option (fun ppf slug -> Fmt.pf ppf " (%s)" slug))
+      s.functioning);
+  Fmt.pf ppf "3) C library compatible: %b (requires %a, site has %a)@ "
+    d.clib.clib_compatible
+    Fmt.(option ~none:(any "none") (using Version.to_string string))
+    d.clib.required
+    Fmt.(option ~none:(any "unknown") (using Version.to_string string))
+    d.clib.available;
+  match d.libs with
+  | None -> Fmt.pf ppf "4) shared libraries: not evaluated@]"
+  | Some l ->
+    Fmt.pf ppf
+      "4) shared libraries available: %b (missing %d, resolved %d, unresolved %d)@]"
+      l.libs_compatible (List.length l.missing)
+      (List.length l.resolved_by_copies)
+      (List.length l.unresolved)

@@ -1,0 +1,73 @@
+(** The prediction model (paper §III, Figure 1): four determinants decide
+    whether an application binary is ready to execute at a target site —
+    compatible ISA, a functioning compatible MPI stack, C library
+    requirements met, and all required shared libraries available (after
+    resolution). *)
+
+type isa_check = {
+  isa_compatible : bool;
+  binary_machine : Feam_elf.Types.machine;
+  binary_class : Feam_elf.Types.elf_class;
+  site_machine : Feam_elf.Types.machine option;
+}
+
+type stack_check = {
+  stack_compatible : bool;
+  requested_impl : Feam_mpi.Impl.t option;  (** [None] for serial binaries *)
+  candidates_found : string list;  (** slugs with a matching implementation *)
+  functioning : string option;  (** the chosen, probe-verified stack *)
+  probe_failures : (string * string) list;  (** slug, failure detail *)
+}
+
+type clib_check = {
+  clib_compatible : bool;
+  required : Feam_util.Version.t option;
+  available : Feam_util.Version.t option;
+}
+
+type libs_check = {
+  libs_compatible : bool;
+  missing : string list;  (** before resolution *)
+  resolved_by_copies : string list;  (** staged from the bundle *)
+  unresolved : (string * string) list;  (** name, why resolution failed *)
+}
+
+type determinants = {
+  isa : isa_check;
+  stack : stack_check option;  (** [None] when evaluation stopped earlier *)
+  clib : clib_check;
+  libs : libs_check option;
+}
+
+(** An execution plan: what to set up so the predicted-ready binary
+    runs — the paper's "matching configuration details". *)
+type plan = {
+  chosen_stack_slug : string option;  (** [None] for serial binaries *)
+  module_loads : string list;
+  ld_library_path_additions : string list;
+  staged_copies : (string * string) list;  (** needed name -> staged path *)
+  launcher : string;
+}
+
+type verdict = Ready of plan | Not_ready of string list
+
+type t = { verdict : verdict; determinants : determinants }
+
+val is_ready : t -> bool
+val reasons : t -> string list
+
+(** The ISA rule: exact machine match, or 32-bit x86 on x86-64. *)
+val isa_rule :
+  binary_machine:Feam_elf.Types.machine ->
+  site_machine:Feam_elf.Types.machine ->
+  bool
+
+(** The C-library rule (§III.C): target version >= required version.
+    An unknown target version is treated as incompatible. *)
+val clib_rule :
+  required:Feam_util.Version.t option ->
+  available:Feam_util.Version.t option ->
+  bool
+
+(** One-per-determinant summary, mirroring Figure 1. *)
+val pp_determinant_summary : t Fmt.t

@@ -1,0 +1,25 @@
+(** The user-facing output of a target phase (paper §V.C): the
+    prediction, the reasons when execution is deemed impossible, and —
+    when the site is predicted ready — the matching configuration details
+    plus a script that sets them up automatically on execution. *)
+
+type t = {
+  site_name : string;
+  binary : string;
+  prediction : Predict.t;
+  setup_script : string option;  (** present when predicted ready *)
+}
+
+val prediction : t -> Predict.t
+
+(** Generate the setup script for a ready plan: module loads,
+    LD_LIBRARY_PATH exports for staged copies, and the launch line. *)
+val make_setup_script : Predict.plan -> binary:string -> string
+
+val make : site_name:string -> binary:string -> Predict.t -> t
+
+(** Machine-readable form of the report (extension: tooling output). *)
+val to_json : t -> Feam_util.Json.t
+
+(** Render the full human-readable report. *)
+val render : t -> string

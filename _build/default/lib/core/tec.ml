@@ -1,0 +1,267 @@
+(* Target Evaluation Component (paper §V.C): matches the BDC's binary
+   description against the EDC's environment description, probes
+   candidate MPI stacks, applies the resolution model, and produces the
+   prediction with its execution plan.
+
+   Evaluation order follows the paper: ISA and C-library determinants
+   first (fail fast), then MPI stack probing, then shared libraries with
+   resolution. *)
+
+open Feam_util
+open Feam_sysmodel
+
+let src = Logs.Src.create "feam.tec" ~doc:"FEAM target evaluation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type input = {
+  config : Config.t;
+  description : Description.t;
+  binary_path : string option; (* binary's location at the target, if present *)
+  bundle : Bundle.t option;
+  discovery : Discovery.t;
+}
+
+(* Compiler family of the binary, from its .comment provenance: used to
+   order candidate stacks so that matching runtimes are preferred. *)
+let binary_compiler_family (d : Description.t) =
+  match d.Description.provenance.Objdump_parse.compiler_banner with
+  | None -> None
+  | Some banner ->
+    if String.starts_with ~prefix:"GCC:" banner then Some Feam_mpi.Compiler.Gnu
+    else if String.starts_with ~prefix:"Intel" banner then
+      Some Feam_mpi.Compiler.Intel
+    else if String.starts_with ~prefix:"PGI" banner then Some Feam_mpi.Compiler.Pgi
+    else None
+
+let isa_determinant (d : Description.t) (disc : Discovery.t) =
+  let compatible =
+    match disc.Discovery.machine with
+    | None -> false (* cannot vouch for an unknown architecture *)
+    | Some site_machine ->
+      Predict.isa_rule ~binary_machine:d.Description.machine ~site_machine
+  in
+  {
+    Predict.isa_compatible = compatible;
+    binary_machine = d.Description.machine;
+    binary_class = d.Description.elf_class;
+    site_machine = disc.Discovery.machine;
+  }
+
+let clib_determinant (d : Description.t) (disc : Discovery.t) =
+  {
+    Predict.clib_compatible =
+      Predict.clib_rule ~required:d.Description.required_glibc
+        ~available:disc.Discovery.glibc;
+    required = d.Description.required_glibc;
+    available = disc.Discovery.glibc;
+  }
+
+(* Candidate stacks: matching MPI implementation type only (§III.B),
+   matching compiler family preferred. *)
+let candidate_stacks (d : Description.t) (disc : Discovery.t) =
+  match d.Description.mpi with
+  | None -> []
+  | Some ident ->
+    let matching =
+      disc.Discovery.stacks
+      |> List.filter (fun s ->
+             Feam_mpi.Impl.compatible ~binary:ident.Mpi_ident.impl
+               ~site:s.Discovery.impl)
+    in
+    let family = binary_compiler_family d in
+    let preferred, other =
+      List.partition
+        (fun s ->
+          match (family, s.Discovery.compiler_family) with
+          | Some f, Some sf -> Feam_mpi.Compiler.family_equal f sf
+          | _ -> false)
+        matching
+    in
+    preferred @ other
+
+(* Probe candidates in preference order; first functioning one wins. *)
+let select_stack ?clock input site env candidates =
+  let rec try_candidates failures = function
+    | [] -> (None, List.rev failures)
+    | candidate :: rest -> (
+      match Site.find_stack_install site ~slug:candidate.Discovery.slug with
+      | None ->
+        try_candidates
+          ((candidate.Discovery.slug, "advertised but not found on disk") :: failures)
+          rest
+      | Some install -> (
+        match
+          Probe.test_stack ?clock input.config site env install
+            ~bundle:input.bundle
+            ~target_glibc:input.discovery.Discovery.glibc
+        with
+        | Ok () ->
+          Log.debug (fun m -> m "stack %s passed probes" candidate.Discovery.slug);
+          (Some (candidate, install), List.rev failures)
+        | Error why ->
+          Log.debug (fun m ->
+              m "stack %s failed probes: %s" candidate.Discovery.slug why);
+          try_candidates ((candidate.Discovery.slug, why) :: failures) rest))
+  in
+  try_candidates [] candidates
+
+(* Missing shared libraries under [env]: ldd on the binary when present,
+   name-by-name search otherwise (the bundle-only case). *)
+let missing_libraries ?clock input site env =
+  match input.binary_path with
+  | Some path ->
+    Edc.missing_libraries ?clock site env ~binary_path:path
+      ~needed:input.description.Description.needed
+  | None ->
+    input.description.Description.needed
+    |> List.filter (fun name ->
+           not (Resolve_model.present_at_target site env name))
+
+let evaluate ?clock site env (input : input) : Predict.t =
+  let d = input.description in
+  let disc = input.discovery in
+  let isa = isa_determinant d disc in
+  let clib = clib_determinant d disc in
+  if not (isa.Predict.isa_compatible && clib.Predict.clib_compatible) then
+    (* Paper §V.C: only when ISA and C library are compatible do we
+       proceed to the MPI stack and shared-library determinants. *)
+    let reasons =
+      (if isa.Predict.isa_compatible then []
+       else
+         [
+           Printf.sprintf "incompatible ISA: binary is %s (%s)"
+             (Feam_elf.Types.machine_uname isa.Predict.binary_machine)
+             (match isa.Predict.site_machine with
+             | Some m -> "site is " ^ Feam_elf.Types.machine_uname m
+             | None -> "site architecture unknown");
+         ])
+      @
+      if clib.Predict.clib_compatible then []
+      else
+        [
+          Printf.sprintf "C library too old: binary requires %s, site has %s"
+            (match clib.Predict.required with
+            | Some v -> Version.to_string v
+            | None -> "?")
+            (match clib.Predict.available with
+            | Some v -> Version.to_string v
+            | None -> "unknown");
+        ]
+    in
+    {
+      Predict.verdict = Predict.Not_ready reasons;
+      determinants = { Predict.isa; stack = None; clib; libs = None };
+    }
+  else
+    (* MPI stack determinant. *)
+    let candidates = candidate_stacks d disc in
+    let requested_impl = Option.map (fun i -> i.Mpi_ident.impl) d.Description.mpi in
+    let selection, probe_failures =
+      if requested_impl = None then (None, [])
+      else select_stack ?clock input site env candidates
+    in
+    let stack_check =
+      {
+        Predict.stack_compatible =
+          (requested_impl = None || selection <> None);
+        requested_impl;
+        candidates_found = List.map (fun c -> c.Discovery.slug) candidates;
+        functioning =
+          Option.map (fun (c, _) -> c.Discovery.slug) selection;
+        probe_failures;
+      }
+    in
+    if not stack_check.Predict.stack_compatible then
+      let reason =
+        if candidates = [] then
+          "no compatible MPI implementation available at the target site"
+        else
+          Printf.sprintf
+            "no functioning compatible MPI stack (%d candidate(s) failed probes)"
+            (List.length candidates)
+      in
+      {
+        Predict.verdict = Predict.Not_ready [ reason ];
+        determinants =
+          { Predict.isa; stack = Some stack_check; clib; libs = None };
+      }
+    else
+      (* Shared-library determinant, under the chosen stack's session. *)
+      let session_env =
+        match selection with
+        | Some (_, install) -> Modules_tool.load_stack env install
+        | None -> env
+      in
+      let missing = missing_libraries ?clock input site session_env in
+      if missing <> [] then
+        Log.info (fun m ->
+            m "missing shared libraries: %s" (String.concat ", " missing));
+      let resolution =
+        match (missing, input.bundle) with
+        | [], _ -> None
+        | _ :: _, Some bundle ->
+          Some
+            (Resolve_model.resolve ?clock input.config site session_env ~bundle
+               ~target_glibc:disc.Discovery.glibc
+               ~binary_machine:d.Description.machine
+               ~binary_class:d.Description.elf_class ~missing)
+        | _ :: _, None -> None
+      in
+      let resolved_by_copies, unresolved, final_env =
+        match resolution with
+        | None ->
+          ([], List.map (fun m -> (m, "no source-phase bundle available")) missing,
+           session_env)
+        | Some r ->
+          ( List.map fst r.Resolve_model.staged,
+            List.map
+              (fun (name, rej) -> (name, Resolve_model.rejection_to_string rej))
+              r.Resolve_model.failed,
+            r.Resolve_model.env )
+      in
+      let libs_check =
+        {
+          Predict.libs_compatible = unresolved = [];
+          missing;
+          resolved_by_copies;
+          unresolved;
+        }
+      in
+      let determinants =
+        {
+          Predict.isa;
+          stack = Some stack_check;
+          clib;
+          libs = Some libs_check;
+        }
+      in
+      if libs_check.Predict.libs_compatible then
+        let launcher =
+          match requested_impl with
+          | Some impl -> Config.launcher input.config impl
+          | None -> ""
+        in
+        let plan =
+          {
+            Predict.chosen_stack_slug = stack_check.Predict.functioning;
+            module_loads = Option.to_list stack_check.Predict.functioning;
+            ld_library_path_additions =
+              (if resolved_by_copies = [] then []
+               else [ input.config.Config.staging_dir ]);
+            staged_copies =
+              (match resolution with
+              | Some r -> r.Resolve_model.staged
+              | None -> []);
+            launcher;
+          }
+        in
+        ignore final_env;
+        { Predict.verdict = Predict.Ready plan; determinants }
+      else
+        let reasons =
+          unresolved
+          |> List.map (fun (name, why) ->
+                 Printf.sprintf "missing shared library %s (%s)" name why)
+        in
+        { Predict.verdict = Predict.Not_ready reasons; determinants }

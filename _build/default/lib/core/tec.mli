@@ -1,0 +1,34 @@
+(** Target Evaluation Component (paper §V.C): matches the BDC's binary
+    description against the EDC's environment description, probes
+    candidate MPI stacks, applies the resolution model, and produces the
+    prediction with its execution plan.
+
+    Evaluation order follows the paper: ISA and C-library determinants
+    first (fail fast), then MPI stack probing, then shared libraries with
+    resolution. *)
+
+type input = {
+  config : Config.t;
+  description : Description.t;
+  binary_path : string option;
+      (** the binary's location at the target, when it is present *)
+  bundle : Bundle.t option;
+  discovery : Discovery.t;
+}
+
+(** Compiler family of the binary, inferred from its .comment provenance;
+    used to order candidate stacks so matching runtimes are preferred. *)
+val binary_compiler_family : Description.t -> Feam_mpi.Compiler.family option
+
+(** Candidate stacks: matching MPI implementation type only (§III.B),
+    matching compiler family first. *)
+val candidate_stacks :
+  Description.t -> Discovery.t -> Discovery.discovered_stack list
+
+(** Run the full evaluation. *)
+val evaluate :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  Feam_sysmodel.Env.t ->
+  input ->
+  Predict.t

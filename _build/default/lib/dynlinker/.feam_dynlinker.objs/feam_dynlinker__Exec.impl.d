@@ -1,0 +1,1 @@
+lib/dynlinker/exec.ml: Batch Cost Digest Fault_model Feam_elf Feam_mpi Feam_sysmodel Feam_toolchain Float Interconnect List Modules_tool Option Printf Resolve Site Stack Stack_install String Vfs

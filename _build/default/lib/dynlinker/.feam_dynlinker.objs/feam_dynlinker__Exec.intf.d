@@ -1,0 +1,1 @@
+lib/dynlinker/exec.mli: Feam_elf Feam_sysmodel Feam_util Resolve

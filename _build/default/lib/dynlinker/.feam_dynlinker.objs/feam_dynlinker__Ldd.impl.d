@@ -1,0 +1,1 @@
+lib/dynlinker/ldd.ml: Buffer Cost Feam_elf Feam_sysmodel List Option Printf Resolve Site Tools Vfs

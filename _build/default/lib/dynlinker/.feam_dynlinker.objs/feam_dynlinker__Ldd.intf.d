@@ -1,0 +1,1 @@
+lib/dynlinker/ldd.mli: Feam_sysmodel Feam_util Resolve

@@ -1,0 +1,1 @@
+lib/dynlinker/resolve.ml: Feam_elf Hashtbl List Option Search

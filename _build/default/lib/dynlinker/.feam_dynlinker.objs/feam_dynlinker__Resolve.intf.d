@@ -1,0 +1,1 @@
+lib/dynlinker/resolve.mli: Feam_elf Feam_sysmodel

@@ -1,0 +1,1 @@
+lib/dynlinker/search.ml: Env Feam_elf Feam_sysmodel List Site String Vfs

@@ -1,0 +1,1 @@
+lib/dynlinker/search.mli: Feam_elf Feam_sysmodel

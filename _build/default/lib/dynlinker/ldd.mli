@@ -1,0 +1,24 @@
+(** `ldd -v` emulation: runs the same resolution as the dynamic linker
+    and renders the familiar text report.  Mirrors ldd's real limitation
+    (paper §V.A): it cannot inspect foreign-architecture binaries. *)
+
+type error =
+  [ `Tool_unavailable of string
+  | `No_such_file of string
+  | `Not_dynamic of string ]
+
+val error_to_string : error -> string
+
+val run :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  Feam_sysmodel.Env.t ->
+  string ->
+  (Resolve.t, error) result
+
+(** Render the classic ldd text output (resolved arrows, "not found"
+    lines, version information). *)
+val render : string -> Resolve.t -> string
+
+(** Direct or transitive dependencies that could not be located. *)
+val missing_libraries : Resolve.t -> string list

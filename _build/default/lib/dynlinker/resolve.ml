@@ -1,0 +1,97 @@
+(* Recursive dependency resolution: the load-time half of the ground
+   truth.  Walks the DT_NEEDED closure of a binary under given search
+   semantics, checking class/machine of every object and every GNU
+   symbol-version requirement against the providers actually found. *)
+
+type resolved_lib = {
+  lib_name : string;   (* the requested DT_NEEDED string *)
+  lib_path : string;   (* where it was found *)
+  lib_bytes : string;
+  lib_spec : Feam_elf.Spec.t;
+}
+
+type version_failure = {
+  vf_object : string;   (* object that required the version *)
+  vf_provider : string; (* library expected to define it *)
+  vf_version : string;  (* the version name, e.g. GLIBC_2.7 *)
+}
+
+type arch_mismatch = {
+  am_lib : string;
+  am_path : string;
+}
+
+type t = {
+  root_spec : Feam_elf.Spec.t;
+  resolved : resolved_lib list;       (* transitive closure, load order *)
+  missing : string list;              (* DT_NEEDED names never located *)
+  arch_mismatches : arch_mismatch list;
+  version_failures : version_failure list;
+}
+
+let ok t = t.missing = [] && t.arch_mismatches = [] && t.version_failures = []
+
+(* [run site env spec] resolves the dependency closure of an object whose
+   parsed spec is [spec].  Each dependency is searched with the root
+   object's search directories plus the dependency's own DT_RPATH chain,
+   an adequate approximation of ld.so's per-object rpath stacking. *)
+let run site env (root : Feam_elf.Spec.t) =
+  let root_dirs = Search.search_dirs site env root in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let resolved = ref [] in
+  let missing = ref [] in
+  let arch_mismatches = ref [] in
+  let rec visit ~requester_dirs name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      match Search.locate_elf site (requester_dirs @ root_dirs) name with
+      | None -> missing := name :: !missing
+      | Some (path, bytes, parsed) ->
+        let spec = Feam_elf.Reader.spec parsed in
+        if spec.elf_class <> root.elf_class || spec.machine <> root.machine
+        then arch_mismatches := { am_lib = name; am_path = path } :: !arch_mismatches
+        else begin
+          resolved :=
+            { lib_name = name; lib_path = path; lib_bytes = bytes; lib_spec = spec }
+            :: !resolved;
+          let own_dirs = Search.search_dirs site env spec in
+          List.iter (visit ~requester_dirs:own_dirs) spec.needed
+        end
+    end
+  in
+  List.iter (visit ~requester_dirs:[]) root.needed;
+  let resolved = List.rev !resolved in
+  (* Version-requirement check: every verneed of the root and of each
+     resolved library must be satisfied by the verdefs of the provider
+     actually loaded under that name. *)
+  let provider_defs name =
+    List.find_opt (fun r -> r.lib_name = name) resolved
+    |> Option.map (fun r -> r.lib_spec.Feam_elf.Spec.verdefs)
+  in
+  let check_object obj_name (spec : Feam_elf.Spec.t) =
+    List.concat_map
+      (fun vn ->
+        match provider_defs vn.Feam_elf.Spec.vn_file with
+        | None -> [] (* provider missing entirely: reported in [missing] *)
+        | Some defs ->
+          vn.Feam_elf.Spec.vn_versions
+          |> List.filter (fun v -> not (List.mem v defs))
+          |> List.map (fun v ->
+                 {
+                   vf_object = obj_name;
+                   vf_provider = vn.Feam_elf.Spec.vn_file;
+                   vf_version = v;
+                 }))
+      spec.verneeds
+  in
+  let version_failures =
+    check_object "a.out" root
+    @ List.concat_map (fun r -> check_object r.lib_name r.lib_spec) resolved
+  in
+  {
+    root_spec = root;
+    resolved;
+    missing = List.rev !missing;
+    arch_mismatches = List.rev !arch_mismatches;
+    version_failures;
+  }

@@ -1,0 +1,34 @@
+(** Recursive dependency resolution: the load-time half of the ground
+    truth.  Walks the DT_NEEDED closure of a binary, checking
+    class/machine of every object and every GNU symbol-version
+    requirement against the providers actually found. *)
+
+type resolved_lib = {
+  lib_name : string;  (** the requested DT_NEEDED string *)
+  lib_path : string;  (** where it was found *)
+  lib_bytes : string;
+  lib_spec : Feam_elf.Spec.t;
+}
+
+type version_failure = {
+  vf_object : string;  (** object that required the version *)
+  vf_provider : string;  (** library expected to define it *)
+  vf_version : string;  (** the version name, e.g. GLIBC_2.7 *)
+}
+
+type arch_mismatch = { am_lib : string; am_path : string }
+
+type t = {
+  root_spec : Feam_elf.Spec.t;
+  resolved : resolved_lib list;  (** transitive closure, load order *)
+  missing : string list;  (** DT_NEEDED names never located *)
+  arch_mismatches : arch_mismatch list;
+  version_failures : version_failure list;
+}
+
+(** No missing libraries, architecture mismatches or version failures. *)
+val ok : t -> bool
+
+(** Resolve the dependency closure of an object under the given
+    environment at the given site. *)
+val run : Feam_sysmodel.Site.t -> Feam_sysmodel.Env.t -> Feam_elf.Spec.t -> t

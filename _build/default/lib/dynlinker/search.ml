@@ -1,0 +1,50 @@
+(* Dynamic-linker library search semantics.
+
+   Directory precedence follows ld.so: DT_RPATH (only when no DT_RUNPATH
+   is present), LD_LIBRARY_PATH, DT_RUNPATH, the linker cache directories
+   (/etc/ld.so.conf registrations), then the default system directories.
+   Both the ground-truth executor and the ldd emulation use this module,
+   so a library made visible by the resolution model's environment edits
+   is found by exactly the rules a real system would apply. *)
+
+open Feam_sysmodel
+
+let split_path_list value = String.split_on_char ':' value |> List.filter (( <> ) "")
+
+(* Search directories for resolving the dependencies of [spec] under
+   [env] at [site]. *)
+let search_dirs site env (spec : Feam_elf.Spec.t) =
+  let rpath =
+    match (spec.rpath, spec.runpath) with
+    | Some rpath, None -> split_path_list rpath
+    | _ -> [] (* DT_RUNPATH disables DT_RPATH *)
+  in
+  let ld_library_path = Env.ld_library_path env in
+  let runpath =
+    match spec.runpath with Some r -> split_path_list r | None -> []
+  in
+  rpath @ ld_library_path @ runpath @ Site.ld_cache_dirs site
+  @ Site.default_lib_dirs site
+
+(* First match for [name] across [dirs] that is a regular file. *)
+let locate_in_dirs site dirs name =
+  let vfs = Site.vfs site in
+  List.find_map
+    (fun dir ->
+      let path = dir ^ "/" ^ name in
+      match Vfs.resolve vfs path with
+      | Some (real_path, { Vfs.kind = Vfs.Elf _; _ }) -> Some real_path
+      | Some _ | None -> None)
+    dirs
+
+(* Locate and parse: returns the path, raw bytes and parsed image. *)
+let locate_elf site dirs name =
+  match locate_in_dirs site dirs name with
+  | None -> None
+  | Some path -> (
+    match Vfs.find (Site.vfs site) path with
+    | Some { Vfs.kind = Vfs.Elf bytes; _ } -> (
+      match Feam_elf.Reader.parse bytes with
+      | Ok parsed -> Some (path, bytes, parsed)
+      | Error _ -> None)
+    | _ -> None)

@@ -1,0 +1,1 @@
+lib/elf/builder.ml: Buffer Codec List Option Spec String Types

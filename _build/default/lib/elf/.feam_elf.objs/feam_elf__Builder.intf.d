@@ -1,0 +1,1 @@
+lib/elf/builder.mli: Spec

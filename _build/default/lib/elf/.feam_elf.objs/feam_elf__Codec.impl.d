@@ -1,0 +1,1 @@
+lib/elf/codec.ml: Buffer Char Printf String Types

@@ -1,0 +1,1 @@
+lib/elf/codec.mli: Types

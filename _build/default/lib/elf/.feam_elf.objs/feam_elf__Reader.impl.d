@@ -1,0 +1,1 @@
+lib/elf/reader.ml: Char Codec List Printf Result Spec String Types

@@ -1,0 +1,1 @@
+lib/elf/spec.ml: Fmt List Types

@@ -1,0 +1,1 @@
+lib/elf/spec.mli: Fmt Types

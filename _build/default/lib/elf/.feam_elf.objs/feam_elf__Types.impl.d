@@ -1,0 +1,1 @@
+lib/elf/types.ml: Char Fmt String

@@ -1,0 +1,115 @@
+(* Endian-aware byte codecs used by the ELF builder and reader. *)
+
+exception Truncated of string
+
+module Writer = struct
+  type t = { buf : Buffer.t; endian : Types.endian }
+
+  let create endian = { buf = Buffer.create 1024; endian }
+
+  let length t = Buffer.length t.buf
+
+  let contents t = Buffer.contents t.buf
+
+  let u8 t v = Buffer.add_char t.buf (Char.chr (v land 0xff))
+
+  let u16 t v =
+    match t.endian with
+    | Types.LE ->
+      u8 t (v land 0xff);
+      u8 t ((v lsr 8) land 0xff)
+    | Types.BE ->
+      u8 t ((v lsr 8) land 0xff);
+      u8 t (v land 0xff)
+
+  let u32 t v =
+    match t.endian with
+    | Types.LE ->
+      u16 t (v land 0xffff);
+      u16 t ((v lsr 16) land 0xffff)
+    | Types.BE ->
+      u16 t ((v lsr 16) land 0xffff);
+      u16 t (v land 0xffff)
+
+  let u64 t v =
+    (* OCaml ints are 63-bit; file offsets here stay far below 2^62. *)
+    match t.endian with
+    | Types.LE ->
+      u32 t (v land 0xffffffff);
+      u32 t ((v lsr 32) land 0xffffffff)
+    | Types.BE ->
+      u32 t ((v lsr 32) land 0xffffffff);
+      u32 t (v land 0xffffffff)
+
+  (* Class-dependent word: 32-bit field in ELF32, 64-bit in ELF64. *)
+  let word t cls v =
+    match cls with Types.C32 -> u32 t v | Types.C64 -> u64 t v
+
+  let bytes t s = Buffer.add_string t.buf s
+
+  let zeros t n = Buffer.add_string t.buf (String.make n '\000')
+
+  let pad_to t off =
+    let cur = length t in
+    if cur > off then invalid_arg "Codec.Writer.pad_to: already past offset";
+    zeros t (off - cur)
+
+  let align t n =
+    let cur = length t in
+    let rem = cur mod n in
+    if rem <> 0 then zeros t (n - rem)
+end
+
+module Reader = struct
+  type t = { data : string; endian : Types.endian }
+
+  let create ~endian data = { data; endian }
+
+  let length t = String.length t.data
+
+  let check t off n =
+    if off < 0 || n < 0 || off + n > String.length t.data then
+      raise (Truncated (Printf.sprintf "read of %d bytes at offset %d (size %d)" n off (String.length t.data)))
+
+  let u8 t off =
+    check t off 1;
+    Char.code t.data.[off]
+
+  let u16 t off =
+    check t off 2;
+    let a = Char.code t.data.[off] and b = Char.code t.data.[off + 1] in
+    match t.endian with Types.LE -> a lor (b lsl 8) | Types.BE -> (a lsl 8) lor b
+
+  let u32 t off =
+    check t off 4;
+    match t.endian with
+    | Types.LE -> u16 t off lor (u16 t (off + 2) lsl 16)
+    | Types.BE -> (u16 t off lsl 16) lor u16 t (off + 2)
+
+  let u64 t off =
+    check t off 8;
+    match t.endian with
+    | Types.LE -> u32 t off lor (u32 t (off + 4) lsl 32)
+    | Types.BE -> (u32 t off lsl 32) lor u32 t (off + 4)
+
+  let word t cls off =
+    match cls with Types.C32 -> u32 t off | Types.C64 -> u64 t off
+
+  let word_size = function Types.C32 -> 4 | Types.C64 -> 8
+
+  let sub t off n =
+    check t off n;
+    String.sub t.data off n
+
+  (* NUL-terminated string starting at [off]. *)
+  let cstring t off =
+    check t off 0;
+    let rec find i =
+      if i >= String.length t.data then
+        raise (Truncated (Printf.sprintf "unterminated string at offset %d" off))
+      else if t.data.[i] = '\000' then i
+      else find (i + 1)
+    in
+    let e = find off in
+    String.sub t.data off (e - off)
+end

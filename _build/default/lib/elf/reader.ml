@@ -1,0 +1,285 @@
+(* Parses ELF images back into a {!Spec.t} plus section-level metadata.
+   This is the only channel through which the migration framework and the
+   dynamic-linker simulator see binaries: everything downstream of the
+   builder goes through real byte-level parsing. *)
+
+type error =
+  | Not_elf                      (* missing \x7fELF magic *)
+  | Unsupported of string        (* unknown class/endian/machine/type code *)
+  | Malformed of string          (* structurally broken image *)
+
+let error_to_string = function
+  | Not_elf -> "not an ELF file"
+  | Unsupported what -> "unsupported ELF: " ^ what
+  | Malformed what -> "malformed ELF: " ^ what
+
+exception Parse_error of error
+
+let fail e = raise (Parse_error e)
+
+type section = {
+  name : string;
+  sh_type : int;
+  sh_offset : int;
+  sh_size : int;
+  sh_link : int;
+  sh_info : int;
+  sh_addr : int;
+}
+
+type t = {
+  spec : Spec.t;
+  sections : section list;
+  size : int; (* image size in bytes *)
+}
+
+let spec t = t.spec
+let sections t = t.sections
+let size t = t.size
+
+let section_by_name t name = List.find_opt (fun s -> s.name = name) t.sections
+
+(* Split a NUL-separated blob into its strings, dropping empties. *)
+let split_nul blob =
+  String.split_on_char '\000' blob |> List.filter (fun s -> s <> "")
+
+let header_size = function Types.C32 -> 52 | Types.C64 -> 64
+
+let parse_ident data =
+  if String.length data < 16 then fail Not_elf;
+  if String.sub data 0 4 <> "\x7fELF" then fail Not_elf;
+  let cls =
+    match Types.class_of_code (Char.code data.[4]) with
+    | Some c -> c
+    | None -> fail (Unsupported (Printf.sprintf "class code %d" (Char.code data.[4])))
+  in
+  let endian =
+    match Types.endian_of_code (Char.code data.[5]) with
+    | Some e -> e
+    | None -> fail (Unsupported (Printf.sprintf "data encoding %d" (Char.code data.[5])))
+  in
+  if Char.code data.[6] <> 1 then
+    fail (Unsupported (Printf.sprintf "ELF version %d" (Char.code data.[6])));
+  (cls, endian)
+
+let parse_sections r cls ~shoff ~shentsize ~shnum ~shstrndx =
+  if shnum > 0 && (shstrndx < 0 || shstrndx >= shnum) then
+    fail (Malformed "section name table index out of range");
+  let raw =
+    List.init shnum (fun i ->
+        let base = shoff + (i * shentsize) in
+        match cls with
+        | Types.C64 ->
+          ( Codec.Reader.u32 r base,
+            Codec.Reader.u32 r (base + 4),
+            Codec.Reader.u64 r (base + 16),
+            Codec.Reader.u64 r (base + 24),
+            Codec.Reader.u64 r (base + 32),
+            Codec.Reader.u32 r (base + 40),
+            Codec.Reader.u32 r (base + 44) )
+        | Types.C32 ->
+          ( Codec.Reader.u32 r base,
+            Codec.Reader.u32 r (base + 4),
+            Codec.Reader.u32 r (base + 12),
+            Codec.Reader.u32 r (base + 16),
+            Codec.Reader.u32 r (base + 20),
+            Codec.Reader.u32 r (base + 24),
+            Codec.Reader.u32 r (base + 28) ))
+  in
+  let shstr_off =
+    if shnum = 0 then 0
+    else
+      let _, _, _, off, _, _, _ = List.nth raw shstrndx in
+      off
+  in
+  List.map
+    (fun (name_off, sh_type, sh_addr, sh_offset, sh_size, sh_link, sh_info) ->
+      let name =
+        if shnum = 0 then ""
+        else
+          try Codec.Reader.cstring r (shstr_off + name_off)
+          with Codec.Truncated _ -> fail (Malformed "section name out of bounds")
+      in
+      { name; sh_type; sh_offset; sh_size; sh_link; sh_info; sh_addr })
+    raw
+
+(* Dynamic section: list of (tag, value) pairs up to DT_NULL. *)
+let parse_dynamic r cls section =
+  let entsize = 2 * Codec.Reader.word_size cls in
+  let n = section.sh_size / entsize in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let base = section.sh_offset + (i * entsize) in
+      let tag = Codec.Reader.word r cls base in
+      let value = Codec.Reader.word r cls (base + Codec.Reader.word_size cls) in
+      if tag = Types.Dt.null then List.rev acc else go (i + 1) ((tag, value) :: acc)
+  in
+  go 0 []
+
+let parse_verneed r section ~dynstr_off =
+  let str off = Codec.Reader.cstring r (dynstr_off + off) in
+  let rec records off acc =
+    let vn_cnt = Codec.Reader.u16 r (off + 2) in
+    let vn_file = Codec.Reader.u32 r (off + 4) in
+    let vn_aux = Codec.Reader.u32 r (off + 8) in
+    let vn_next = Codec.Reader.u32 r (off + 12) in
+    let rec auxes aoff k acc =
+      if k = 0 then List.rev acc
+      else
+        let vna_name = Codec.Reader.u32 r (aoff + 8) in
+        let vna_next = Codec.Reader.u32 r (aoff + 12) in
+        let acc = str vna_name :: acc in
+        if vna_next = 0 then List.rev acc else auxes (aoff + vna_next) (k - 1) acc
+    in
+    let versions = if vn_cnt = 0 then [] else auxes (off + vn_aux) vn_cnt [] in
+    let acc = { Spec.vn_file = str vn_file; vn_versions = versions } :: acc in
+    if vn_next = 0 then List.rev acc else records (off + vn_next) acc
+  in
+  if section.sh_size = 0 then [] else records section.sh_offset []
+
+let parse_verdef r section ~dynstr_off =
+  let str off = Codec.Reader.cstring r (dynstr_off + off) in
+  let rec records off acc =
+    let vd_aux = Codec.Reader.u32 r (off + 12) in
+    let vd_next = Codec.Reader.u32 r (off + 16) in
+    let vda_name = Codec.Reader.u32 r (off + vd_aux) in
+    let acc = str vda_name :: acc in
+    if vd_next = 0 then List.rev acc else records (off + vd_next) acc
+  in
+  if section.sh_size = 0 then [] else records section.sh_offset []
+
+(* Program headers: (p_type, p_offset, p_filesz) triples. *)
+let parse_program_headers r cls ~phoff ~phentsize ~phnum =
+  List.init phnum (fun i ->
+      let base = phoff + (i * phentsize) in
+      match cls with
+      | Types.C64 ->
+        ( Codec.Reader.u32 r base,
+          Codec.Reader.u64 r (base + 8),
+          Codec.Reader.u64 r (base + 32) )
+      | Types.C32 ->
+        ( Codec.Reader.u32 r base,
+          Codec.Reader.u32 r (base + 4),
+          Codec.Reader.u32 r (base + 16) ))
+
+let parse_abi_note r section =
+  (* namesz, descsz, type, "GNU\0", os, maj, min, patch *)
+  if section.sh_size < 32 then None
+  else
+    let base = section.sh_offset in
+    let namesz = Codec.Reader.u32 r base in
+    let typ = Codec.Reader.u32 r (base + 8) in
+    if namesz <> 4 || typ <> 1 then None
+    else if Codec.Reader.sub r (base + 12) 4 <> "GNU\000" then None
+    else
+      let maj = Codec.Reader.u32 r (base + 20) in
+      let min_ = Codec.Reader.u32 r (base + 24) in
+      let patch = Codec.Reader.u32 r (base + 28) in
+      Some (maj, min_, patch)
+
+let parse (data : string) : (t, error) result =
+  try
+    let cls, endian = parse_ident data in
+    let r = Codec.Reader.create ~endian data in
+    if String.length data < header_size cls then fail (Malformed "truncated header");
+    let e_type = Codec.Reader.u16 r 16 in
+    let e_machine = Codec.Reader.u16 r 18 in
+    let file_type =
+      match Types.file_type_of_code e_type with
+      | Some t -> t
+      | None -> fail (Unsupported (Printf.sprintf "file type %d" e_type))
+    in
+    let machine =
+      match Types.machine_of_code e_machine with
+      | Some m -> m
+      | None -> fail (Unsupported (Printf.sprintf "machine %d" e_machine))
+    in
+    let word = Codec.Reader.word_size cls in
+    (* e_entry, e_phoff and e_shoff are class-sized words starting at
+       offset 24. *)
+    let phoff = Codec.Reader.word r cls (24 + word) in
+    let shoff = Codec.Reader.word r cls (24 + (2 * word)) in
+    let tail = 24 + (3 * word) + 4 (* e_flags *) + 2 (* e_ehsize *) in
+    let phentsize = Codec.Reader.u16 r tail in
+    let phnum = Codec.Reader.u16 r (tail + 2) in
+    let shentsize = Codec.Reader.u16 r (tail + 4) in
+    let shnum = Codec.Reader.u16 r (tail + 6) in
+    let shstrndx = Codec.Reader.u16 r (tail + 8) in
+    let program_headers =
+      if phoff = 0 || phnum = 0 then []
+      else parse_program_headers r cls ~phoff ~phentsize ~phnum
+    in
+    let interp =
+      List.find_map
+        (fun (p_type, off, size) ->
+          if p_type = Types.Pt.interp && size > 0 then
+            Some (Codec.Reader.cstring r off)
+          else None)
+        program_headers
+    in
+    let sections = parse_sections r cls ~shoff ~shentsize ~shnum ~shstrndx in
+    let find_type ty = List.find_opt (fun s -> s.sh_type = ty) sections in
+    let find_name n = List.find_opt (fun s -> s.name = n) sections in
+    (* Dynamic metadata. *)
+    let dynamic =
+      match find_type Types.Sht.dynamic with
+      | Some s -> parse_dynamic r cls s
+      | None -> []
+    in
+    let dynstr_off =
+      (* Locate .dynstr via the dynamic section's sh_link when possible,
+         falling back to the section name. *)
+      match find_type Types.Sht.dynamic with
+      | Some dyn when dyn.sh_link > 0 && dyn.sh_link < List.length sections ->
+        (List.nth sections dyn.sh_link).sh_offset
+      | _ -> (
+        match find_name ".dynstr" with
+        | Some s -> s.sh_offset
+        | None -> 0)
+    in
+    let dynstr_at off = Codec.Reader.cstring r (dynstr_off + off) in
+    let tagged tag = List.filter_map (fun (t, v) -> if t = tag then Some v else None) dynamic in
+    let needed = List.map dynstr_at (tagged Types.Dt.needed) in
+    let opt_tag tag =
+      match tagged tag with v :: _ -> Some (dynstr_at v) | [] -> None
+    in
+    let soname = opt_tag Types.Dt.soname in
+    let rpath = opt_tag Types.Dt.rpath in
+    let runpath = opt_tag Types.Dt.runpath in
+    let verneeds =
+      match find_type Types.Sht.gnu_verneed with
+      | Some s -> parse_verneed r s ~dynstr_off
+      | None -> []
+    in
+    let verdefs =
+      match find_type Types.Sht.gnu_verdef with
+      | Some s -> parse_verdef r s ~dynstr_off
+      | None -> []
+    in
+    let comments =
+      match find_name ".comment" with
+      | Some s -> split_nul (Codec.Reader.sub r s.sh_offset s.sh_size)
+      | None -> []
+    in
+    let abi_note =
+      match find_name ".note.ABI-tag" with
+      | Some s -> parse_abi_note r s
+      | None -> None
+    in
+    let spec =
+      Spec.make ~file_type ?soname ~needed ?rpath ?runpath ~verneeds ~verdefs
+        ~comments ?abi_note ?interp ~elf_class:cls ~endian machine
+    in
+    Ok { spec; sections; size = String.length data }
+  with
+  | Parse_error e -> Error e
+  | Codec.Truncated what -> Error (Malformed ("truncated: " ^ what))
+
+let parse_exn data =
+  match parse data with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Elf.Reader.parse_exn: " ^ error_to_string e)
+
+(* Convenience used throughout the framework: just the spec. *)
+let spec_of_bytes data = Result.map (fun t -> t.spec) (parse data)

@@ -1,0 +1,38 @@
+(** Parses ELF images back into a {!Spec.t} plus section-level metadata.
+    This is the only channel through which the migration framework and
+    the dynamic-linker simulator see binaries. *)
+
+type error =
+  | Not_elf  (** missing \x7fELF magic *)
+  | Unsupported of string  (** unknown class/endian/machine/type code *)
+  | Malformed of string  (** structurally broken image *)
+
+val error_to_string : error -> string
+
+type section = {
+  name : string;
+  sh_type : int;
+  sh_offset : int;
+  sh_size : int;
+  sh_link : int;
+  sh_info : int;
+  sh_addr : int;
+}
+
+type t
+
+val spec : t -> Spec.t
+val sections : t -> section list
+
+(** Image size in bytes. *)
+val size : t -> int
+
+val section_by_name : t -> string -> section option
+
+val parse : string -> (t, error) result
+
+(** @raise Invalid_argument when {!parse} would return an error. *)
+val parse_exn : string -> t
+
+(** Convenience: parse and return just the spec. *)
+val spec_of_bytes : string -> (Spec.t, error) result

@@ -1,0 +1,96 @@
+(* High-level description of an ELF object: exactly the information channel
+   the migration framework reads through objdump/readelf.  {!Builder} turns
+   a spec into real ELF bytes; {!Reader} recovers a spec from bytes. *)
+
+(* One "Version References" block: versions required from one shared
+   object, e.g. GLIBC_2.2.5 and GLIBC_2.3.4 required from libc.so.6. *)
+type verneed = {
+  vn_file : string;          (* soname of the supplying object *)
+  vn_versions : string list; (* version names required from it *)
+}
+
+type t = {
+  elf_class : Types.elf_class;
+  endian : Types.endian;
+  machine : Types.machine;
+  file_type : Types.file_type;
+  soname : string option;    (* DT_SONAME; present when the object is a shared library *)
+  needed : string list;      (* DT_NEEDED entries, link order *)
+  rpath : string option;     (* DT_RPATH *)
+  runpath : string option;   (* DT_RUNPATH *)
+  verneeds : verneed list;   (* .gnu.version_r *)
+  verdefs : string list;     (* .gnu.version_d: version names defined by the object *)
+  comments : string list;    (* .comment: toolchain provenance strings *)
+  abi_note : (int * int * int) option; (* .note.ABI-tag: minimum kernel *)
+  interp : string option;    (* PT_INTERP: the dynamic loader path *)
+}
+
+let make ?(file_type = Types.ET_EXEC) ?soname ?(needed = []) ?rpath ?runpath
+    ?(verneeds = []) ?(verdefs = []) ?(comments = []) ?abi_note ?interp
+    ?elf_class ?endian machine =
+  let elf_class =
+    match elf_class with Some c -> c | None -> Types.machine_class machine
+  in
+  let endian =
+    match endian with Some e -> e | None -> Types.machine_endian machine
+  in
+  {
+    elf_class;
+    endian;
+    machine;
+    file_type;
+    soname;
+    needed;
+    rpath;
+    runpath;
+    verneeds;
+    verdefs;
+    comments;
+    abi_note;
+    interp;
+  }
+
+let equal_verneed a b = a.vn_file = b.vn_file && a.vn_versions = b.vn_versions
+
+let equal a b =
+  a.elf_class = b.elf_class && a.endian = b.endian && a.machine = b.machine
+  && a.file_type = b.file_type && a.soname = b.soname && a.needed = b.needed
+  && a.rpath = b.rpath && a.runpath = b.runpath
+  && List.length a.verneeds = List.length b.verneeds
+  && List.for_all2 equal_verneed a.verneeds b.verneeds
+  && a.verdefs = b.verdefs && a.comments = b.comments
+  && a.abi_note = b.abi_note && a.interp = b.interp
+
+(* All version names required from a given object, empty when none. *)
+let versions_required_from t file =
+  match List.find_opt (fun vn -> vn.vn_file = file) t.verneeds with
+  | Some vn -> vn.vn_versions
+  | None -> []
+
+let is_shared_library t = t.soname <> None
+
+let pp_verneed ppf vn =
+  Fmt.pf ppf "@[<h>%s: %a@]" vn.vn_file
+    Fmt.(list ~sep:(any ", ") string)
+    vn.vn_versions
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>class: %a@ endian: %a@ machine: %a@ type: %a@ soname: %a@ needed: \
+     %a@ rpath: %a@ runpath: %a@ verneeds: %a@ verdefs: %a@ comments: %a@]"
+    Types.pp_class t.elf_class Types.pp_endian t.endian Types.pp_machine
+    t.machine Types.pp_file_type t.file_type
+    Fmt.(option ~none:(any "-") string)
+    t.soname
+    Fmt.(list ~sep:(any ", ") string)
+    t.needed
+    Fmt.(option ~none:(any "-") string)
+    t.rpath
+    Fmt.(option ~none:(any "-") string)
+    t.runpath
+    Fmt.(list ~sep:(any "; ") pp_verneed)
+    t.verneeds
+    Fmt.(list ~sep:(any ", ") string)
+    t.verdefs
+    Fmt.(list ~sep:(any " | ") string)
+    t.comments

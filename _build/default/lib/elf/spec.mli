@@ -1,0 +1,52 @@
+(** High-level description of an ELF object: exactly the information
+    channel the migration framework reads through objdump/readelf.
+    {!Builder} turns a spec into real ELF bytes; {!Reader} recovers a
+    spec from bytes. *)
+
+(** One "Version References" block: version names required from one
+    shared object (e.g. GLIBC_2.3.4 required from libc.so.6). *)
+type verneed = { vn_file : string; vn_versions : string list }
+
+type t = {
+  elf_class : Types.elf_class;
+  endian : Types.endian;
+  machine : Types.machine;
+  file_type : Types.file_type;
+  soname : string option;  (** DT_SONAME; present for shared libraries *)
+  needed : string list;  (** DT_NEEDED entries, link order *)
+  rpath : string option;  (** DT_RPATH *)
+  runpath : string option;  (** DT_RUNPATH *)
+  verneeds : verneed list;  (** .gnu.version_r *)
+  verdefs : string list;  (** .gnu.version_d: version names defined *)
+  comments : string list;  (** .comment: toolchain provenance strings *)
+  abi_note : (int * int * int) option;  (** .note.ABI-tag: minimum kernel *)
+  interp : string option;  (** PT_INTERP: the dynamic loader path *)
+}
+
+(** Build a spec; class and endianness default to the machine's natural
+    ones. *)
+val make :
+  ?file_type:Types.file_type ->
+  ?soname:string ->
+  ?needed:string list ->
+  ?rpath:string ->
+  ?runpath:string ->
+  ?verneeds:verneed list ->
+  ?verdefs:string list ->
+  ?comments:string list ->
+  ?abi_note:int * int * int ->
+  ?interp:string ->
+  ?elf_class:Types.elf_class ->
+  ?endian:Types.endian ->
+  Types.machine ->
+  t
+
+val equal_verneed : verneed -> verneed -> bool
+val equal : t -> t -> bool
+
+(** All version names required from a given object; empty when none. *)
+val versions_required_from : t -> string -> string list
+
+val is_shared_library : t -> bool
+val pp_verneed : verneed Fmt.t
+val pp : t Fmt.t

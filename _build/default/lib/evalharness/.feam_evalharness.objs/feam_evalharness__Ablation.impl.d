@@ -1,0 +1,1 @@
+lib/evalharness/ablation.ml: Accuracy Bundle Feam_core Feam_suites Feam_util List Migrate Params Printf Resolution_impact Sites Testset

@@ -1,0 +1,1 @@
+lib/evalharness/ablation.mli: Feam_core Feam_util Params

@@ -1,0 +1,1 @@
+lib/evalharness/accuracy.ml: Feam_dynlinker Hashtbl List Migrate Option

@@ -1,0 +1,1 @@
+lib/evalharness/accuracy.mli: Feam_dynlinker Feam_suites Migrate

@@ -1,0 +1,1 @@
+lib/evalharness/corpus_stats.ml: Benchmark Feam_suites Feam_sysmodel Feam_util List Testset

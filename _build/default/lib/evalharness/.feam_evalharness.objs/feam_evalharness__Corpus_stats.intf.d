@@ -1,0 +1,1 @@
+lib/evalharness/corpus_stats.mli: Feam_suites Feam_sysmodel Feam_util Testset

@@ -1,0 +1,1 @@
+lib/evalharness/effort.ml: Accuracy Feam_dynlinker Feam_suites Feam_util List Migrate Printf

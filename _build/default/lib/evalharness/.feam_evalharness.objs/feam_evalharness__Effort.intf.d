@@ -1,0 +1,1 @@
+lib/evalharness/effort.mli: Feam_suites Feam_util Migrate

@@ -1,0 +1,1 @@
+lib/evalharness/matrix.ml: Feam_sysmodel Feam_util Hashtbl List Migrate Option Printf Testset

@@ -1,0 +1,1 @@
+lib/evalharness/matrix.mli: Feam_sysmodel Feam_util Migrate

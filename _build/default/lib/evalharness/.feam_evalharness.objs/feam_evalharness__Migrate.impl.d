@@ -1,0 +1,1 @@
+lib/evalharness/migrate.ml: Benchmark Compiler Env Feam_core Feam_dynlinker Feam_mpi Feam_suites Feam_sysmodel Impl List Modules_tool Params Site Stack Stack_install Testset Vfs

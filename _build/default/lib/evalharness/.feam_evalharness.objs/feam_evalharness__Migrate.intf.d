@@ -1,0 +1,1 @@
+lib/evalharness/migrate.mli: Feam_core Feam_dynlinker Feam_suites Feam_sysmodel Feam_util Params Testset

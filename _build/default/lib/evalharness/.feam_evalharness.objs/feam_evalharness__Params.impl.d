@@ -1,0 +1,1 @@
+lib/evalharness/params.ml: Feam_dynlinker Feam_sysmodel

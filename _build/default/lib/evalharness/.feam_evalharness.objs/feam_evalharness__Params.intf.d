@@ -1,0 +1,1 @@
+lib/evalharness/params.mli: Feam_sysmodel

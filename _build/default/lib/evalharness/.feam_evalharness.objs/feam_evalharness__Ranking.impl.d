@@ -1,0 +1,1 @@
+lib/evalharness/ranking.ml: Batch Feam_core Feam_sysmodel Feam_util Float List Printf Site String Vfs

@@ -1,0 +1,1 @@
+lib/evalharness/ranking.mli: Feam_core Feam_sysmodel Feam_util

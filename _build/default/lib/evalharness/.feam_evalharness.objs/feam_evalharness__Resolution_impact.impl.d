@@ -1,0 +1,1 @@
+lib/evalharness/resolution_impact.ml: Accuracy Feam_dynlinker List Migrate

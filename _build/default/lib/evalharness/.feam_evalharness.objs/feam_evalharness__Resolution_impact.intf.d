@@ -1,0 +1,1 @@
+lib/evalharness/resolution_impact.mli: Feam_suites Migrate

@@ -1,0 +1,1 @@
+lib/evalharness/scenario.ml: Batch Compiler Distro Fault_model Feam_elf Feam_mpi Feam_sysmodel Feam_toolchain Feam_util Impl Interconnect List Printf Site Stack Stack_install String Version

@@ -1,0 +1,1 @@
+lib/evalharness/scenario.mli: Feam_sysmodel

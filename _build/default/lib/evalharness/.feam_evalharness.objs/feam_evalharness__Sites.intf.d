@@ -1,0 +1,1 @@
+lib/evalharness/sites.mli: Feam_mpi Feam_sysmodel Params

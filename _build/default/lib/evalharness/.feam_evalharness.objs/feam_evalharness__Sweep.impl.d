@@ -1,0 +1,1 @@
+lib/evalharness/sweep.ml: Accuracy Benchmark Feam_suites Feam_util Float List Migrate Npb Params Printf Resolution_impact Sites Specmpi Testset

@@ -1,0 +1,1 @@
+lib/evalharness/sweep.mli: Feam_util Migrate

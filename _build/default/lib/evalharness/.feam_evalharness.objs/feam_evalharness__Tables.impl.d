@@ -1,0 +1,1 @@
+lib/evalharness/tables.ml: Accuracy Benchmark Feam_core Feam_elf Feam_mpi Feam_suites Feam_sysmodel Feam_util List Migrate Printf Resolution_impact String Table Testset Version

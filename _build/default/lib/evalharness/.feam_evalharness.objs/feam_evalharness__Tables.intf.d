@@ -1,0 +1,1 @@
+lib/evalharness/tables.mli: Feam_sysmodel Feam_util Migrate Testset

@@ -1,0 +1,1 @@
+lib/evalharness/testset.ml: Benchmark Feam_dynlinker Feam_suites Feam_sysmodel Feam_toolchain Feam_util List Modules_tool Params Printf Prng Site Stack_install Vfs

@@ -1,0 +1,1 @@
+lib/evalharness/testset.mli: Feam_suites Feam_sysmodel Params

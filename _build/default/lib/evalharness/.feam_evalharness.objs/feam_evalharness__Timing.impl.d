@@ -1,0 +1,1 @@
+lib/evalharness/timing.ml: Feam_core Feam_sysmodel Feam_util Float List Migrate Modules_tool Sim_clock Site Testset Vfs

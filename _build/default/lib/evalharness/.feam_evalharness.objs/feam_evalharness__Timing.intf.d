@@ -1,0 +1,1 @@
+lib/evalharness/timing.mli: Feam_sysmodel Testset

@@ -1,0 +1,1 @@
+lib/evalharness/whatif.ml: Compiler Feam_mpi Feam_suites Feam_util List Migrate Params Printf Sites Stack Table Testset

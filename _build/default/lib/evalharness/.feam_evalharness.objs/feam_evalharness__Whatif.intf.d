@@ -1,0 +1,1 @@
+lib/evalharness/whatif.mli: Feam_mpi Feam_util Params

@@ -1,0 +1,104 @@
+(* Ablation study: how much each design choice of the extended prediction
+   contributes.  Each variant strips one capability out of the bundle
+   before the target phase runs and re-measures Table III's extended
+   accuracy and Table IV's after-resolution success rate:
+
+   - "full FEAM": the complete system (the baseline);
+   - "no foreign probes": native hello worlds only — the basic
+     prediction's blindness to foreign-binary ABI/FP stack defects;
+   - "C probes only": drop the Fortran hello world — probes stop
+     exercising the Fortran runtime and its staged copies;
+   - "no resolution": drop the library copies — the bundle still enables
+     probing but nothing can be repaired (Table IV "before" plus probe
+     knowledge);
+   - "no bundle at all": equivalent to basic prediction, for reference. *)
+
+open Feam_core
+
+type variant = {
+  variant_name : string;
+  bundle_filter : Bundle.t -> Bundle.t;
+}
+
+let full = { variant_name = "full FEAM"; bundle_filter = (fun b -> b) }
+
+let no_foreign_probes =
+  {
+    variant_name = "no foreign probes";
+    bundle_filter = (fun b -> { b with Bundle.probes = [] });
+  }
+
+let c_probes_only =
+  {
+    variant_name = "C probes only";
+    bundle_filter =
+      (fun b ->
+        {
+          b with
+          Bundle.probes =
+            List.filter
+              (fun p -> p.Bundle.probe_name = "hello_mpi")
+              b.Bundle.probes;
+        });
+  }
+
+let no_resolution =
+  {
+    variant_name = "no resolution";
+    bundle_filter = (fun b -> { b with Bundle.copies = [] });
+  }
+
+let variants = [ full; no_foreign_probes; c_probes_only; no_resolution ]
+
+type result = {
+  variant : string;
+  extended_accuracy_nas : float;
+  extended_accuracy_spec : float;
+  after_nas : float;
+  after_spec : float;
+}
+
+(* Run the migration matrix once per variant (the corpus and sites are
+   rebuilt each time so per-run state cannot leak between variants). *)
+let run (params : Params.t) =
+  List.map
+    (fun variant ->
+      let sites = Sites.build_all params in
+      let benchmarks = Feam_suites.Npb.all @ Feam_suites.Specmpi.all in
+      let binaries = Testset.build params sites benchmarks in
+      let migrations =
+        Migrate.run_all ~bundle_filter:variant.bundle_filter params sites
+          binaries
+      in
+      let acc suite = Accuracy.suite_accuracy Accuracy.Extended suite migrations in
+      let after suite =
+        Resolution_impact.rate_after (Resolution_impact.of_suite suite migrations)
+      in
+      {
+        variant = variant.variant_name;
+        extended_accuracy_nas = acc Feam_suites.Benchmark.Nas;
+        extended_accuracy_spec = acc Feam_suites.Benchmark.Spec_mpi2007;
+        after_nas = after Feam_suites.Benchmark.Nas;
+        after_spec = after Feam_suites.Benchmark.Spec_mpi2007;
+      })
+    variants
+
+let table results =
+  let pct f = Printf.sprintf "%.0f%%" (100.0 *. f) in
+  Feam_util.Table.make
+    ~title:"Ablation: contribution of each extended-prediction capability"
+    ~aligns:
+      [ Feam_util.Table.Left; Feam_util.Table.Right; Feam_util.Table.Right;
+        Feam_util.Table.Right; Feam_util.Table.Right ]
+    ~header:
+      [ "Variant"; "Ext. acc NAS"; "Ext. acc SPEC"; "Success NAS"; "Success SPEC" ]
+    (List.map
+       (fun r ->
+         [
+           r.variant;
+           pct r.extended_accuracy_nas;
+           pct r.extended_accuracy_spec;
+           pct r.after_nas;
+           pct r.after_spec;
+         ])
+       results)

@@ -1,0 +1,100 @@
+(* Prediction-accuracy aggregation (paper Table III) and failure-cause
+   breakdowns (paper §VI.C's results analysis). *)
+
+
+type confusion = {
+  true_ready : int;      (* predicted ready, ran *)
+  false_ready : int;     (* predicted ready, failed *)
+  true_not_ready : int;  (* predicted not ready, failed *)
+  false_not_ready : int; (* predicted not ready, ran *)
+}
+
+let empty = { true_ready = 0; false_ready = 0; true_not_ready = 0; false_not_ready = 0 }
+
+let total c = c.true_ready + c.false_ready + c.true_not_ready + c.false_not_ready
+
+let correct c = c.true_ready + c.true_not_ready
+
+let accuracy c =
+  let t = total c in
+  if t = 0 then 0.0 else float_of_int (correct c) /. float_of_int t
+
+let add c ~predicted ~actual =
+  match (predicted, actual) with
+  | true, true -> { c with true_ready = c.true_ready + 1 }
+  | true, false -> { c with false_ready = c.false_ready + 1 }
+  | false, false -> { c with true_not_ready = c.true_not_ready + 1 }
+  | false, true -> { c with false_not_ready = c.false_not_ready + 1 }
+
+type mode = Basic | Extended
+
+let confusion_of mode migrations =
+  List.fold_left
+    (fun c (m : Migrate.migration) ->
+      match mode with
+      | Basic ->
+        add c ~predicted:m.Migrate.basic_ready
+          ~actual:(Migrate.success m.Migrate.actual_before)
+      | Extended ->
+        add c ~predicted:m.Migrate.extended_ready
+          ~actual:(Migrate.success m.Migrate.actual_after))
+    empty migrations
+
+(* Per-suite accuracy for one mode, as a fraction. *)
+let suite_accuracy mode suite migrations =
+  accuracy (confusion_of mode (Migrate.of_suite suite migrations))
+
+(* -- Failure-cause histogram -------------------------------------------- *)
+
+type cause =
+  | Missing_shared_libraries
+  | C_library_version
+  | Abi_or_fp
+  | Stack_problem
+  | System_errors
+  | Other
+
+let cause_name = function
+  | Missing_shared_libraries -> "missing shared libraries"
+  | C_library_version -> "C library version requirements"
+  | Abi_or_fp -> "ABI / floating point errors"
+  | Stack_problem -> "MPI stack not functioning"
+  | System_errors -> "system errors"
+  | Other -> "other"
+
+let classify = function
+  | Feam_dynlinker.Exec.Missing_libraries _
+  | Feam_dynlinker.Exec.Arch_mismatched_libraries _
+  | Feam_dynlinker.Exec.Interpreter_missing _ ->
+    Missing_shared_libraries
+  | Feam_dynlinker.Exec.Unsatisfied_versions _ -> C_library_version
+  | Feam_dynlinker.Exec.Abi_incompatibility _
+  | Feam_dynlinker.Exec.Floating_point_error _ ->
+    Abi_or_fp
+  | Feam_dynlinker.Exec.Stack_misconfigured _
+  | Feam_dynlinker.Exec.No_mpi_stack
+  | Feam_dynlinker.Exec.Interconnect_unavailable _ ->
+    Stack_problem
+  | Feam_dynlinker.Exec.System_error _ -> System_errors
+  | Feam_dynlinker.Exec.Not_executable _ | Feam_dynlinker.Exec.Wrong_isa _
+  | Feam_dynlinker.Exec.Invalid_process_count _ ->
+    Other
+
+(* Histogram of failure causes for a selector over migrations. *)
+let failure_histogram select migrations =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      match select m with
+      | Feam_dynlinker.Exec.Success -> ()
+      | Feam_dynlinker.Exec.Failure f ->
+        let cause = classify f in
+        Hashtbl.replace table cause
+          (1 + Option.value (Hashtbl.find_opt table cause) ~default:0))
+    migrations;
+  [ Missing_shared_libraries; C_library_version; Abi_or_fp; Stack_problem;
+    System_errors; Other ]
+  |> List.filter_map (fun c ->
+         match Hashtbl.find_opt table c with
+         | Some n -> Some (c, n)
+         | None -> None)

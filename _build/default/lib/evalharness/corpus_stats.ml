@@ -1,0 +1,70 @@
+(* Corpus composition statistics: how many binaries each benchmark
+   contributed per build site — the quantitative version of §VI.A's
+   "our final test set ... is composed of a subset of the benchmark
+   suites" narrative. *)
+
+open Feam_suites
+
+type row = {
+  benchmark : string;
+  suite : Benchmark.suite;
+  per_site : (string * int) list; (* build-site name -> binaries *)
+  total : int;
+}
+
+let compute sites (binaries : Testset.binary list) =
+  let site_names = List.map Feam_sysmodel.Site.name sites in
+  let benchmarks =
+    List.sort_uniq compare
+      (List.map
+         (fun b ->
+           ( b.Testset.benchmark.Benchmark.suite,
+             b.Testset.benchmark.Benchmark.bench_name ))
+         binaries)
+  in
+  List.map
+    (fun (suite, name) ->
+      let mine =
+        List.filter
+          (fun b -> b.Testset.benchmark.Benchmark.bench_name = name)
+          binaries
+      in
+      let per_site =
+        List.map
+          (fun site_name ->
+            ( site_name,
+              List.length
+                (List.filter
+                   (fun b ->
+                     Feam_sysmodel.Site.name b.Testset.home = site_name)
+                   mine) ))
+          site_names
+      in
+      { benchmark = name; suite; per_site; total = List.length mine })
+    benchmarks
+
+let table sites binaries =
+  let rows = compute sites binaries in
+  let site_names = List.map Feam_sysmodel.Site.name sites in
+  let header = ("Benchmark" :: site_names) @ [ "Total" ] in
+  let body =
+    List.map
+      (fun r ->
+        (r.benchmark :: List.map (fun (_, n) -> string_of_int n) r.per_site)
+        @ [ string_of_int r.total ])
+      rows
+  in
+  let totals =
+    ("all"
+    :: List.map
+         (fun site_name ->
+           string_of_int
+             (List.fold_left
+                (fun acc r -> acc + List.assoc site_name r.per_site)
+                0 rows))
+         site_names)
+    @ [ string_of_int (List.fold_left (fun acc r -> acc + r.total) 0 rows) ]
+  in
+  Feam_util.Table.make
+    ~title:"Corpus composition: binaries per benchmark and build site (SVI.A)"
+    ~header (body @ [ totals ])

@@ -1,0 +1,60 @@
+(* Site-pair migration matrix: post-resolution success rate for each
+   (home, target) pair — a compact view of which environment boundaries
+   are hard (old glibc walls, missing vendor runtimes) that the paper's
+   aggregate tables average away. *)
+
+type cell = { attempts : int; successes : int }
+
+type t = {
+  site_names : string list;
+  (* (home, target) -> cell *)
+  cells : (string * string, cell) Hashtbl.t;
+}
+
+let build sites (migrations : Migrate.migration list) =
+  let site_names = List.map Feam_sysmodel.Site.name sites in
+  let cells = Hashtbl.create 32 in
+  List.iter
+    (fun (m : Migrate.migration) ->
+      let key =
+        (Feam_sysmodel.Site.name m.Migrate.binary.Testset.home, m.Migrate.target_name)
+      in
+      let prev =
+        Option.value (Hashtbl.find_opt cells key) ~default:{ attempts = 0; successes = 0 }
+      in
+      Hashtbl.replace cells key
+        {
+          attempts = prev.attempts + 1;
+          successes =
+            (prev.successes + if Migrate.success m.Migrate.actual_after then 1 else 0);
+        })
+    migrations;
+  { site_names; cells }
+
+let cell t ~home ~target = Hashtbl.find_opt t.cells (home, target)
+
+let rate c =
+  if c.attempts = 0 then 0.0
+  else float_of_int c.successes /. float_of_int c.attempts
+
+let table t =
+  let header = "from \\ to" :: t.site_names in
+  let rows =
+    List.map
+      (fun home ->
+        home
+        :: List.map
+             (fun target ->
+               if home = target then "-"
+               else
+                 match cell t ~home ~target with
+                 | None -> "n/a"
+                 | Some c ->
+                   Printf.sprintf "%.0f%% (%d/%d)" (100.0 *. rate c) c.successes
+                     c.attempts)
+             t.site_names)
+      t.site_names
+  in
+  Feam_util.Table.make
+    ~title:"Migration success after resolution, per site pair"
+    ~header rows

@@ -1,0 +1,55 @@
+(** The migration experiment (paper §VI.B): every test binary is migrated
+    to every other site offering a matching MPI implementation — only
+    those migrations are reported, as in the paper.
+
+    Each migration records the basic prediction (target phase only), the
+    extended prediction (both phases), and the ground-truth executions
+    before resolution (matching stack, no library fixes — Table IV
+    "before") and after resolution (FEAM's configuration — "after").
+    Table III scores basic against the before-run and extended against
+    the after-run, the executions each mode configures. *)
+
+type migration = {
+  binary : Testset.binary;
+  target_name : string;
+  basic_ready : bool;
+  basic_reasons : string list;
+  extended_ready : bool;
+  extended_reasons : string list;
+  staged_copies : string list;
+  actual_before : Feam_dynlinker.Exec.outcome;
+  actual_after : Feam_dynlinker.Exec.outcome;
+}
+
+val success : Feam_dynlinker.Exec.outcome -> bool
+val basic_correct : migration -> bool
+val extended_correct : migration -> bool
+
+(** The stack a knowledgeable user selects by hand: matching MPI
+    implementation, preferring the build compiler family. *)
+val user_stack_choice :
+  Testset.binary -> Feam_sysmodel.Site.t -> Feam_sysmodel.Stack_install.t option
+
+val has_matching_impl : Testset.binary -> Feam_sysmodel.Site.t -> bool
+
+(** Run one migration (cleans target-side staging before and after).
+    [bundle_filter] transforms the source-phase bundle before the
+    extended target phase — the ablation study's hook. *)
+val migrate :
+  ?clock:Feam_util.Sim_clock.t ->
+  ?bundle_filter:(Feam_core.Bundle.t -> Feam_core.Bundle.t) ->
+  Params.t ->
+  Testset.binary ->
+  Feam_sysmodel.Site.t ->
+  migration
+
+(** All migrations of a corpus. *)
+val run_all :
+  ?clock:Feam_util.Sim_clock.t ->
+  ?bundle_filter:(Feam_core.Bundle.t -> Feam_core.Bundle.t) ->
+  Params.t ->
+  Feam_sysmodel.Site.t list ->
+  Testset.binary list ->
+  migration list
+
+val of_suite : Feam_suites.Benchmark.suite -> migration list -> migration list

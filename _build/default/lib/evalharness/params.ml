@@ -1,0 +1,33 @@
+(* Tunables of the evaluation: the master seed and the failure-injection
+   rates that shape the reproduction.  Absolute values are calibrated so
+   the regenerated tables land near the paper's numbers; the *shape*
+   claims (extended >= basic accuracy, both > 90%; about half of
+   migrations succeed before resolution; resolution adds about a third
+   more successes; missing shared libraries dominate failures) hold over
+   a wide range around these defaults. *)
+
+type t = {
+  seed : int;
+  (* Probability an advertised MPI stack install carries a defect that
+     only foreign binaries hit (ABI or floating-point, paper §VI.C). *)
+  p_stack_defect : float;
+  (* Probability an advertised stack is outright misconfigured: no
+     program launches under it (paper §III.B). *)
+  p_misconfigured : float;
+  exec : Feam_sysmodel.Fault_model.t;
+  attempts : int; (* the paper's five-attempt retry policy *)
+}
+
+let default =
+  {
+    seed = 42;
+    p_stack_defect = 0.07;
+    p_misconfigured = 0.04;
+    exec =
+      {
+        Feam_dynlinker.Exec.p_transient = 0.01;
+        p_sticky = 0.008;
+        p_copy_abi = 1.0;
+      };
+    attempts = 5;
+  }

@@ -1,0 +1,18 @@
+(** Tunables of the evaluation: master seed and failure-injection rates.
+    Absolute values are calibrated so the regenerated tables land near
+    the paper's numbers; the shape claims hold over a wide range around
+    these defaults (see EXPERIMENTS.md's seed sweep). *)
+
+type t = {
+  seed : int;
+  p_stack_defect : float;
+      (** probability an advertised stack carries a defect only foreign
+          binaries hit (paper §VI.C) *)
+  p_misconfigured : float;
+      (** probability an advertised stack is outright misconfigured
+          (§III.B) *)
+  exec : Feam_sysmodel.Fault_model.t;
+  attempts : int;  (** the paper's five-attempt retry policy *)
+}
+
+val default : t

@@ -1,0 +1,76 @@
+(* Resolution-impact aggregation (paper Table IV): successful executions
+   before and after applying the resolution model, and the relative
+   increase due to resolution. *)
+
+
+type t = {
+  migrations : int;
+  successes_before : int;
+  successes_after : int;
+}
+
+let measure migrations =
+  List.fold_left
+    (fun acc (m : Migrate.migration) ->
+      {
+        migrations = acc.migrations + 1;
+        successes_before =
+          (acc.successes_before
+          + if Migrate.success m.Migrate.actual_before then 1 else 0);
+        successes_after =
+          (acc.successes_after
+          + if Migrate.success m.Migrate.actual_after then 1 else 0);
+      })
+    { migrations = 0; successes_before = 0; successes_after = 0 }
+    migrations
+
+let of_suite suite migrations = measure (Migrate.of_suite suite migrations)
+
+let rate_before t =
+  if t.migrations = 0 then 0.0
+  else float_of_int t.successes_before /. float_of_int t.migrations
+
+let rate_after t =
+  if t.migrations = 0 then 0.0
+  else float_of_int t.successes_after /. float_of_int t.migrations
+
+(* "Increase in successful executions due to resolution": the increase
+   divided by the successes before resolution (paper §VI.B). *)
+let relative_increase t =
+  if t.successes_before = 0 then 0.0
+  else
+    float_of_int (t.successes_after - t.successes_before)
+    /. float_of_int t.successes_before
+
+(* How many of the pre-resolution failures were missing-library failures,
+   and how many of those the resolution model fixed (paper §VI.C: "more
+   than half were missing shared libraries"; resolution "enabled
+   execution for about half of the binaries that would have otherwise
+   failed due to missing shared libraries"). *)
+type missing_lib_stats = {
+  failures_before : int;
+  missing_lib_failures : int;
+  missing_lib_fixed : int;
+}
+
+let missing_lib_breakdown migrations =
+  List.fold_left
+    (fun acc (m : Migrate.migration) ->
+      match m.Migrate.actual_before with
+      | Feam_dynlinker.Exec.Success -> acc
+      | Feam_dynlinker.Exec.Failure f ->
+        let is_missing =
+          match Accuracy.classify f with
+          | Accuracy.Missing_shared_libraries -> true
+          | _ -> false
+        in
+        {
+          failures_before = acc.failures_before + 1;
+          missing_lib_failures =
+            (acc.missing_lib_failures + if is_missing then 1 else 0);
+          missing_lib_fixed =
+            (acc.missing_lib_fixed
+            + if is_missing && Migrate.success m.Migrate.actual_after then 1 else 0);
+        })
+    { failures_before = 0; missing_lib_failures = 0; missing_lib_fixed = 0 }
+    migrations

@@ -1,0 +1,86 @@
+(* Seed sweep: rerun the full evaluation over several seeds and
+   aggregate each headline metric.  The shape claims must hold across
+   re-drawn stochastic worlds, not just at the calibrated default. *)
+
+open Feam_suites
+
+type metrics = (string * float) list
+
+(* The headline metrics of one evaluation run, as percentages. *)
+let measure migrations : metrics =
+  let acc mode suite = 100.0 *. Accuracy.suite_accuracy mode suite migrations in
+  let res suite = Resolution_impact.of_suite suite migrations in
+  let nas = res Benchmark.Nas and spec = res Benchmark.Spec_mpi2007 in
+  [
+    ("basic NAS", acc Accuracy.Basic Benchmark.Nas);
+    ("basic SPEC", acc Accuracy.Basic Benchmark.Spec_mpi2007);
+    ("extended NAS", acc Accuracy.Extended Benchmark.Nas);
+    ("extended SPEC", acc Accuracy.Extended Benchmark.Spec_mpi2007);
+    ("before NAS", 100.0 *. Resolution_impact.rate_before nas);
+    ("before SPEC", 100.0 *. Resolution_impact.rate_before spec);
+    ("after NAS", 100.0 *. Resolution_impact.rate_after nas);
+    ("after SPEC", 100.0 *. Resolution_impact.rate_after spec);
+    ("increase NAS", 100.0 *. Resolution_impact.relative_increase nas);
+    ("increase SPEC", 100.0 *. Resolution_impact.relative_increase spec);
+  ]
+
+(* The paper's values for the same metrics. *)
+let paper_values =
+  [
+    ("basic NAS", 94.0); ("basic SPEC", 92.0); ("extended NAS", 99.0);
+    ("extended SPEC", 93.0); ("before NAS", 58.0); ("before SPEC", 47.0);
+    ("after NAS", 78.0); ("after SPEC", 66.0); ("increase NAS", 33.0);
+    ("increase SPEC", 39.0);
+  ]
+
+(* One full evaluation at a seed. *)
+let run_once ?on_progress seed =
+  let params = { Params.default with Params.seed } in
+  let sites = Sites.build_all params in
+  let benchmarks = Npb.all @ Specmpi.all in
+  let binaries = Testset.build params sites benchmarks in
+  let migrations = Migrate.run_all params sites binaries in
+  (match on_progress with Some f -> f seed | None -> ());
+  measure migrations
+
+type aggregate = {
+  metric : string;
+  paper : float;
+  mean : float;
+  minimum : float;
+  maximum : float;
+}
+
+(* Sweep [n] consecutive seeds starting at the default. *)
+let run ?on_progress ?(first_seed = Params.default.Params.seed) n : aggregate list =
+  let seeds = List.init n (fun i -> first_seed + i) in
+  let all = List.map (run_once ?on_progress) seeds in
+  List.map
+    (fun (metric, paper) ->
+      let values = List.map (fun m -> List.assoc metric m) all in
+      let count = float_of_int (List.length values) in
+      {
+        metric;
+        paper;
+        mean = List.fold_left ( +. ) 0.0 values /. count;
+        minimum = List.fold_left Float.min infinity values;
+        maximum = List.fold_left Float.max neg_infinity values;
+      })
+    paper_values
+
+let table ~seeds aggregates =
+  Feam_util.Table.make
+    ~title:(Printf.sprintf "Seed sweep over %d seed(s)" seeds)
+    ~aligns:
+      [ Feam_util.Table.Left; Feam_util.Table.Right; Feam_util.Table.Right;
+        Feam_util.Table.Right ]
+    ~header:[ "Metric"; "Paper"; "Mean"; "Range" ]
+    (List.map
+       (fun a ->
+         [
+           a.metric;
+           Printf.sprintf "%.0f%%" a.paper;
+           Printf.sprintf "%.1f%%" a.mean;
+           Printf.sprintf "[%.0f%%, %.0f%%]" a.minimum a.maximum;
+         ])
+       aggregates)

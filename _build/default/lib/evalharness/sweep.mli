@@ -1,0 +1,26 @@
+(** Seed sweep: rerun the full evaluation over several seeds and
+    aggregate each headline metric against the paper's values. *)
+
+type metrics = (string * float) list
+
+(** The headline metrics of one evaluation run, as percentages. *)
+val measure : Migrate.migration list -> metrics
+
+(** The paper's values for the same metrics. *)
+val paper_values : (string * float) list
+
+(** One full evaluation at a seed. *)
+val run_once : ?on_progress:(int -> unit) -> int -> metrics
+
+type aggregate = {
+  metric : string;
+  paper : float;
+  mean : float;
+  minimum : float;
+  maximum : float;
+}
+
+(** Sweep [n] consecutive seeds. *)
+val run : ?on_progress:(int -> unit) -> ?first_seed:int -> int -> aggregate list
+
+val table : seeds:int -> aggregate list -> Feam_util.Table.t

@@ -1,0 +1,20 @@
+(** Renders the paper's tables from evaluation results. *)
+
+(** Table I plus a note with the identification scheme's measured
+    accuracy over the corpus (§VI.B reports 100 %). *)
+val table1 : Testset.binary list -> Feam_util.Table.t * string
+
+(** Table II: the site inventory actually provisioned. *)
+val table2 : Feam_sysmodel.Site.t list -> Feam_util.Table.t
+
+(** Table III: basic/extended prediction accuracy per suite. *)
+val table3 : Migrate.migration list -> Feam_util.Table.t
+
+(** Table IV: resolution impact per suite. *)
+val table4 : Migrate.migration list -> Feam_util.Table.t
+
+(** Prediction accuracy of both modes per target site. *)
+val accuracy_by_site : Migrate.migration list -> Feam_util.Table.t
+
+(** Failure-cause breakdown before resolution (§VI.C analysis). *)
+val failure_breakdown : Migrate.migration list -> Feam_util.Table.t

@@ -1,0 +1,97 @@
+(* Phase timing and bundle-size measurement (paper §VI.C: both FEAM
+   phases always completed in under five minutes, and a per-site bundle
+   of shared-library copies averaged about 45 MB). *)
+
+open Feam_util
+open Feam_sysmodel
+
+type phase_timing = {
+  binary_id : string;
+  target : string;
+  source_seconds : float;
+  target_seconds : float;
+}
+
+(* Time FEAM's phases for one migration, on simulated wall clocks. *)
+let time_migration binary target =
+  let config = Feam_core.Config.default in
+  Vfs.remove_tree (Site.vfs target) "/tmp/feam";
+  let source_clock = Sim_clock.create () in
+  let home_env =
+    Modules_tool.load_stack
+      (Site.base_env binary.Testset.home)
+      binary.Testset.install
+  in
+  let bundle =
+    Feam_core.Phases.source_phase ~clock:source_clock config
+      binary.Testset.home home_env ~binary_path:binary.Testset.home_path
+  in
+  let target_clock = Sim_clock.create () in
+  (match bundle with
+  | Ok bundle ->
+    ignore
+      (Feam_core.Phases.target_phase ~clock:target_clock config target
+         (Site.base_env target) ~bundle ())
+  | Error _ -> ());
+  Vfs.remove_tree (Site.vfs target) "/tmp/feam";
+  {
+    binary_id = binary.Testset.id;
+    target = Site.name target;
+    source_seconds = Sim_clock.elapsed source_clock;
+    target_seconds = Sim_clock.elapsed target_clock;
+  }
+
+(* Time a sample of migrations: one binary per home site to every other
+   matching site. *)
+let sample_timings sites binaries =
+  let sample =
+    (* first binary homed at each site *)
+    List.filter_map
+      (fun site ->
+        List.find_opt
+          (fun b -> Site.name b.Testset.home = Site.name site)
+          binaries)
+      sites
+  in
+  List.concat_map
+    (fun binary ->
+      sites
+      |> List.filter (fun t ->
+             Site.name t <> Site.name binary.Testset.home
+             && Migrate.has_matching_impl binary t)
+      |> List.map (fun t -> time_migration binary t))
+    sample
+
+let max_seconds timings =
+  List.fold_left
+    (fun acc t -> Float.max acc (Float.max t.source_seconds t.target_seconds))
+    0.0 timings
+
+(* Per-site bundle sizes: the source-phase bundles of every test binary
+   homed at a site, merged (distinct library copies counted once) — the
+   quantity the paper reports averaging ~45 MB. *)
+let site_bundle_bytes binaries site =
+  let config = Feam_core.Config.default in
+  let bundles =
+    binaries
+    |> List.filter (fun b -> Site.name b.Testset.home = Site.name site)
+    |> List.filter_map (fun b ->
+           let env =
+             Modules_tool.load_stack (Site.base_env site) b.Testset.install
+           in
+           match
+             Feam_core.Phases.source_phase config site env
+               ~binary_path:b.Testset.home_path
+           with
+           | Ok bundle -> Some bundle
+           | Error _ -> None)
+  in
+  Feam_core.Bundle.merged_library_bytes bundles
+
+let bundle_report sites binaries =
+  List.map
+    (fun site ->
+      (Site.name site, site_bundle_bytes binaries site))
+    sites
+
+let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0)

@@ -1,0 +1,100 @@
+(* What-if analysis for site administrators: FEAM's data answers not
+   only "can this binary run here?" but also "what single installation
+   would unlock the most migrations to my site?"  The analysis rebuilds
+   the evaluation world with one hypothetical change to a target site —
+   an extra compiler runtime, or an extra MPI stack — and measures the
+   delta in post-resolution successes into that site.
+
+   This closes the loop the paper opens in §VI.C: the dominant failures
+   (missing vendor runtimes, absent MPI implementations) are exactly the
+   things administrators can install. *)
+
+open Feam_util
+open Feam_mpi
+
+type change =
+  | Add_compiler of Compiler.t
+      (* install a compiler suite (its runtime becomes resolvable) *)
+  | Add_stack of Stack.t
+      (* install an MPI stack *)
+
+let change_to_string = function
+  | Add_compiler c -> "install compiler " ^ Compiler.to_string c
+  | Add_stack s -> "install MPI stack " ^ Stack.slug s
+
+(* Apply a change to one site's spec. *)
+let apply_change (spec : Sites.spec) = function
+  | Add_compiler c -> { spec with Sites.compilers = spec.Sites.compilers @ [ c ] }
+  | Add_stack s -> { spec with Sites.stacks = spec.Sites.stacks @ [ s ] }
+
+type result = {
+  site : string;
+  change : string;
+  successes_before_change : int;
+  successes_after_change : int;
+  migrations : int;
+}
+
+let delta r = r.successes_after_change - r.successes_before_change
+
+(* Successes into [site_name] over a migration list. *)
+let successes_into site_name migrations =
+  List.length
+    (List.filter
+       (fun (m : Migrate.migration) ->
+         m.Migrate.target_name = site_name
+         && Migrate.success m.Migrate.actual_after)
+       migrations)
+
+let migrations_into site_name migrations =
+  List.length
+    (List.filter
+       (fun (m : Migrate.migration) -> m.Migrate.target_name = site_name)
+       migrations)
+
+(* Evaluate one hypothetical change at one site.  Both worlds are built
+   from scratch so each is internally consistent; residual differences
+   from the stochastic draws (corpus membership, system errors) are
+   small compared to the structural delta the change produces.  Note the
+   migration count itself can change: installing a new MPI
+   implementation widens the matching-implementation universe. *)
+let evaluate (params : Params.t) ~site_name ~change =
+  let benchmarks = Feam_suites.Npb.all @ Feam_suites.Specmpi.all in
+  let run specs =
+    let sites = Sites.build_specs params specs in
+    let binaries = Testset.build params sites benchmarks in
+    Migrate.run_all params sites binaries
+  in
+  let baseline = run Sites.specs in
+  let changed_specs =
+    List.map
+      (fun spec ->
+        if spec.Sites.site_name = site_name then apply_change spec change
+        else spec)
+      Sites.specs
+  in
+  let changed = run changed_specs in
+  {
+    site = site_name;
+    change = change_to_string change;
+    successes_before_change = successes_into site_name baseline;
+    successes_after_change = successes_into site_name changed;
+    migrations = migrations_into site_name changed;
+  }
+
+let table results =
+  Feam_util.Table.make
+    ~title:"What-if: additional successful migrations per hypothetical install"
+    ~aligns:
+      [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "Site"; "Change"; "Before"; "After"; "Delta" ]
+    (List.map
+       (fun r ->
+         [
+           r.site;
+           r.change;
+           Printf.sprintf "%d/%d" r.successes_before_change r.migrations;
+           Printf.sprintf "%d/%d" r.successes_after_change r.migrations;
+           Printf.sprintf "%+d" (delta r);
+         ])
+       results)

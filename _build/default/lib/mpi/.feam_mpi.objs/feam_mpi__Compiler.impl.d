@@ -1,0 +1,1 @@
+lib/mpi/compiler.ml: Feam_util Fmt Printf Soname Version

@@ -1,0 +1,1 @@
+lib/mpi/compiler.mli: Feam_util Fmt

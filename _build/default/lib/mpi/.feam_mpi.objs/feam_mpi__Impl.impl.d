@@ -1,0 +1,1 @@
+lib/mpi/impl.ml: Feam_util Fmt Soname Stdlib

@@ -1,0 +1,1 @@
+lib/mpi/impl.mli: Feam_util Fmt

@@ -1,0 +1,1 @@
+lib/mpi/interconnect.ml: Feam_util Fmt Soname

@@ -1,0 +1,1 @@
+lib/mpi/interconnect.mli: Feam_util Fmt

@@ -1,0 +1,1 @@
+lib/mpi/stack.ml: Compiler Feam_util Fmt Impl Interconnect Printf Version

@@ -1,0 +1,1 @@
+lib/mpi/stack.mli: Compiler Feam_util Fmt Impl Interconnect

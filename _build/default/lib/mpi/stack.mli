@@ -1,0 +1,48 @@
+(** An MPI stack: the combination of MPI implementation (with version),
+    associated compiler, and interconnection network (paper §I, §III.B).
+    Stacks are what sites advertise and what binaries were built with. *)
+
+type t
+
+type language = C | Fortran
+
+val make :
+  impl:Impl.t ->
+  impl_version:Feam_util.Version.t ->
+  compiler:Compiler.t ->
+  interconnect:Interconnect.t ->
+  t
+
+val impl : t -> Impl.t
+val impl_version : t -> Feam_util.Version.t
+val compiler : t -> Compiler.t
+val interconnect : t -> Interconnect.t
+val equal : t -> t -> bool
+
+(** "openmpi-1.4.3-intel": the slug used for install prefixes and module
+    names; real sites' path naming reveals stacks this way (§V.B). *)
+val slug : t -> string
+
+val to_string : t -> string
+
+(** MPI shared libraries a program in the given language links. *)
+val mpi_libs : t -> language -> Feam_util.Soname.t list
+
+(** System libraries additionally linked by the wrapper: Table I
+    fingerprints plus the compiler runtime. *)
+val system_libs : t -> language -> Feam_util.Soname.t list
+
+(** Full dynamic dependency set, excluding libc/libm/libpthread. *)
+val needed_libs : t -> language -> Feam_util.Soname.t list
+
+(** The full stack-compatibility rule: same implementation type (version
+    ignored), same compiler family, supportable fabric. *)
+val compatible : binary:t -> site:t -> bool
+
+(** Compiler wrapper names installed under a stack prefix. *)
+val wrapper_names : string list
+
+(** Default launch command ("mpiexec", §V.C). *)
+val default_launcher : string
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/suites/benchmark.ml: Compiler Feam_mpi Feam_toolchain Feam_util Fmt List Soname Stack Version

@@ -1,0 +1,1 @@
+lib/suites/benchmark.mli: Feam_mpi Feam_sysmodel Feam_toolchain Feam_util Fmt

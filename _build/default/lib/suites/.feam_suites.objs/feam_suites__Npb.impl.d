@@ -1,0 +1,1 @@
+lib/suites/npb.ml: Benchmark Feam_mpi

@@ -1,0 +1,1 @@
+lib/suites/npb.mli: Benchmark

@@ -1,0 +1,1 @@
+lib/suites/npb_class.ml: Benchmark Float List String

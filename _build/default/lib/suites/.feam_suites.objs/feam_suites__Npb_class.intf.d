@@ -1,0 +1,1 @@
+lib/suites/npb_class.mli: Benchmark

@@ -1,0 +1,1 @@
+lib/suites/specmpi.ml: Benchmark Feam_mpi Feam_toolchain Feam_util Soname

@@ -1,0 +1,1 @@
+lib/suites/specmpi.mli: Benchmark

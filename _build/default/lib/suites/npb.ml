@@ -1,0 +1,52 @@
+(* The NAS Parallel Benchmarks, MPI reference implementation version 2.4
+   (paper §VI.A): four kernels — integer sort, embarrassingly parallel,
+   conjugate gradient, multi-grid — and three pseudo-applications —
+   block tridiagonal, scalar penta-diagonal and lower-upper Gauss-Seidel
+   solvers.
+
+   Compile fragilities are sized so that, across the Table II stack
+   matrix, roughly the paper's fraction of (benchmark x stack) pairs
+   survives into the test set (110 of the possible NPB builds). *)
+
+open Benchmark
+
+let suite = Nas
+
+(* Legacy Fortran-77 kernels: portable (old glibc appetite) but fussy
+   about Fortran compiler dialects. *)
+
+let is =
+  make ~suite ~description:"integer sort" ~language:Feam_mpi.Stack.C
+    ~glibc_appetite:"2.2.5" ~binary_size_mb:0.4 ~compile_fragility:0.22
+    ~runtime_fragility:0.012 ~np_rule:`Power_of_two "is.A"
+
+let ep =
+  make ~suite ~description:"embarrassingly parallel" ~glibc_appetite:"2.2.5"
+    ~binary_size_mb:0.5 ~compile_fragility:0.27 ~runtime_fragility:0.008 ~np_rule:`Any "ep.A"
+
+let cg =
+  make ~suite ~description:"conjugate gradient" ~glibc_appetite:"2.3.4"
+    ~binary_size_mb:0.7 ~compile_fragility:0.32 ~runtime_fragility:0.012 ~np_rule:`Power_of_two "cg.A"
+
+let mg =
+  make ~suite ~description:"multi-grid on a sequence of meshes"
+    ~glibc_appetite:"2.3.4" ~binary_size_mb:0.8 ~compile_fragility:0.32
+    ~runtime_fragility:0.012 ~np_rule:`Power_of_two "mg.A"
+
+(* Pseudo-applications: bigger Fortran codes, harder to build. *)
+
+let bt =
+  make ~suite ~description:"block tridiagonal solver" ~glibc_appetite:"2.3.4"
+    ~binary_size_mb:1.6 ~compile_fragility:0.42 ~runtime_fragility:0.015 ~np_rule:`Square "bt.A"
+
+let sp =
+  make ~suite ~description:"scalar penta-diagonal solver"
+    ~glibc_appetite:"2.3.4" ~binary_size_mb:1.4 ~compile_fragility:0.42
+    ~runtime_fragility:0.015 ~np_rule:`Square "sp.A"
+
+let lu =
+  make ~suite ~description:"lower-upper Gauss-Seidel solver"
+    ~glibc_appetite:"2.3.4" ~binary_size_mb:1.5 ~compile_fragility:0.47
+    ~runtime_fragility:0.015 ~np_rule:`Power_of_two "lu.A"
+
+let all = [ is; ep; cg; mg; bt; sp; lu ]

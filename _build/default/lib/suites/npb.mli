@@ -1,0 +1,16 @@
+(** The NAS Parallel Benchmarks, MPI reference implementation 2.4 (paper
+    §VI.A): four kernels — integer sort, embarrassingly parallel,
+    conjugate gradient, multi-grid — and three pseudo-applications —
+    block tridiagonal, scalar penta-diagonal and lower-upper Gauss-Seidel
+    solvers. *)
+
+val is : Benchmark.t
+val ep : Benchmark.t
+val cg : Benchmark.t
+val mg : Benchmark.t
+val bt : Benchmark.t
+val sp : Benchmark.t
+val lu : Benchmark.t
+
+(** All seven, in the paper's order. *)
+val all : Benchmark.t list

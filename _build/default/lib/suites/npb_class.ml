@@ -1,0 +1,53 @@
+(* NPB problem classes.  The NAS Parallel Benchmarks are compiled per
+   problem class — S (sample), W (workstation), A, B, C in increasing
+   size — and the class is baked into the binary name ("bt.A", "bt.B").
+   The paper's test set uses a fixed class per benchmark; this module
+   models the class dimension so workloads of other sizes can be
+   generated. *)
+
+type t = S | W | A | B | C
+
+let all = [ S; W; A; B; C ]
+
+let letter = function S -> "S" | W -> "W" | A -> "A" | B -> "B" | C -> "C"
+
+let of_letter = function
+  | "S" -> Some S
+  | "W" -> Some W
+  | "A" -> Some A
+  | "B" -> Some B
+  | "C" -> Some C
+  | _ -> None
+
+(* Rough problem-size factor relative to class A: drives the binary's
+   data segment and its runtime memory footprint.  (NPB class sizes grow
+   roughly 4x per class step.) *)
+let size_factor = function
+  | S -> 0.05
+  | W -> 0.25
+  | A -> 1.0
+  | B -> 4.0
+  | C -> 16.0
+
+(* Minimum memory per process, in MB, for a class-A footprint of
+   [base_mb]. *)
+let memory_mb ~base_mb t = base_mb *. size_factor t
+
+(* Re-key a benchmark at another class: renames "xx.A" to "xx.<cls>" and
+   scales the binary size (larger classes embed larger static arrays in
+   Fortran codes). *)
+let apply cls (bench : Benchmark.t) =
+  let rename name =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name 0 i ^ "." ^ letter cls
+    | None -> name ^ "." ^ letter cls
+  in
+  {
+    bench with
+    Benchmark.bench_name = rename bench.Benchmark.bench_name;
+    binary_size_mb =
+      bench.Benchmark.binary_size_mb *. Float.max 0.2 (size_factor cls ** 0.5);
+  }
+
+(* The benchmark at every class: a full NPB build matrix row. *)
+let spectrum bench = List.map (fun cls -> apply cls bench) all

@@ -1,0 +1,22 @@
+(** NPB problem classes (S, W, A, B, C).  The paper's test set uses a
+    fixed class per benchmark; this module models the class dimension so
+    workloads of other sizes can be generated. *)
+
+type t = S | W | A | B | C
+
+val all : t list
+val letter : t -> string
+val of_letter : string -> t option
+
+(** Problem-size factor relative to class A (~4x per step). *)
+val size_factor : t -> float
+
+(** Minimum memory per process in MB, given a class-A footprint. *)
+val memory_mb : base_mb:float -> t -> float
+
+(** Re-key a benchmark at another class: renames "xx.A" to "xx.<cls>"
+    and scales the binary size. *)
+val apply : t -> Benchmark.t -> Benchmark.t
+
+(** The benchmark at every class. *)
+val spectrum : Benchmark.t -> Benchmark.t list

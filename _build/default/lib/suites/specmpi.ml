@@ -1,0 +1,55 @@
+(* SPEC MPI2007 (paper §VI.A): native MPI-parallel end-user applications.
+   The seven codes of the paper's test set, with language mix and library
+   appetite modelled from the real codes: milc is portable C, lammps is
+   C++ (needs libstdc++), the CFD and hydro codes are modern Fortran with
+   newer glibc appetites, which is what produces C-library failures when
+   binaries built on newer sites (Forge, Blacklight) migrate to older
+   ones (Ranger, India, Fir). *)
+
+open Benchmark
+open Feam_util
+
+let suite = Spec_mpi2007
+
+let so = Soname.make
+
+let milc =
+  make ~suite ~description:"quantum chromodynamics"
+    ~language:Feam_mpi.Stack.C ~glibc_appetite:"2.3.4" ~binary_size_mb:2.4
+    ~compile_fragility:0.09 ~runtime_fragility:0.09 "104.milc"
+
+let leslie3d =
+  make ~suite ~description:"computational fluid dynamics"
+    ~glibc_appetite:"2.4" ~binary_size_mb:3.1 ~compile_fragility:0.16
+    ~runtime_fragility:0.12 "107.leslie3d"
+
+let fds4 =
+  make ~suite ~description:"computational fluid dynamics (fire)"
+    ~glibc_appetite:"2.5" ~binary_size_mb:4.2 ~compile_fragility:0.17
+    ~runtime_fragility:0.12
+    ~incompatible_compilers:[ Feam_mpi.Compiler.Pgi ] "115.fds4"
+
+let tachyon =
+  make ~suite ~description:"parallel ray tracing" ~language:Feam_mpi.Stack.C
+    ~glibc_appetite:"2.3.4" ~binary_size_mb:1.1 ~compile_fragility:0.07
+    ~runtime_fragility:0.07 "122.tachyon"
+
+let lammps =
+  make ~suite ~description:"molecular dynamics" ~language:Feam_mpi.Stack.C
+    ~glibc_appetite:"2.4"
+    ~extra_libs:[ so ~version:[ 6 ] "libstdc++" ]
+    ~binary_size_mb:5.6 ~lib_families:[ Feam_toolchain.Libdb.Fftw ]
+    ~compile_fragility:0.17 ~runtime_fragility:0.10 "126.lammps"
+
+let gapgeofem =
+  make ~suite ~description:"geophysical finite element (weather)"
+    ~glibc_appetite:"2.4" ~binary_size_mb:2.8
+    ~lib_families:[ Feam_toolchain.Libdb.Hdf5 ]
+    ~compile_fragility:0.16 ~runtime_fragility:0.12 "127.GAPgeofem"
+
+let tera_tf =
+  make ~suite ~description:"3D Eulerian hydrodynamics" ~glibc_appetite:"2.5"
+    ~binary_size_mb:3.4 ~lib_families:[ Feam_toolchain.Libdb.Hdf5 ]
+    ~compile_fragility:0.17 ~runtime_fragility:0.12 "129.tera_tf"
+
+let all = [ milc; leslie3d; fds4; tachyon; lammps; gapgeofem; tera_tf ]

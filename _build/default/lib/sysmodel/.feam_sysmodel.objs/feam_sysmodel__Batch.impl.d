@@ -1,0 +1,1 @@
+lib/sysmodel/batch.ml: List Option Str_split String

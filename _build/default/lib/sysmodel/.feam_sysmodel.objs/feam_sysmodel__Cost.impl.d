@@ -1,0 +1,1 @@
+lib/sysmodel/cost.ml: Feam_util

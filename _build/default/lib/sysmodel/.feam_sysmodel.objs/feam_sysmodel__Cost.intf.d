@@ -1,0 +1,1 @@
+lib/sysmodel/cost.mli: Feam_util

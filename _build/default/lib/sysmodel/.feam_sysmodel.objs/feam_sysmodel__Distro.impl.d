@@ -1,0 +1,1 @@
+lib/sysmodel/distro.ml: Feam_elf Feam_util Fmt Printf Version

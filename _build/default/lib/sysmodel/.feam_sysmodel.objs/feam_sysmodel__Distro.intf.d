@@ -1,0 +1,1 @@
+lib/sysmodel/distro.mli: Feam_elf Feam_util Fmt

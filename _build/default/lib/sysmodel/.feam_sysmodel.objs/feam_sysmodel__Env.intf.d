@@ -1,0 +1,1 @@
+lib/sysmodel/env.mli:

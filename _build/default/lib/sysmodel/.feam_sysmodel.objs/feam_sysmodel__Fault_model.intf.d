@@ -1,0 +1,1 @@
+lib/sysmodel/fault_model.mli:

@@ -1,0 +1,1 @@
+lib/sysmodel/modules_tool.ml: Compiler Env Feam_mpi Feam_util List Printf Site Stack_install String Vfs

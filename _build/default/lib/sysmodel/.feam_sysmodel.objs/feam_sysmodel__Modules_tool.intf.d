@@ -1,0 +1,1 @@
+lib/sysmodel/modules_tool.mli: Env Site Stack_install

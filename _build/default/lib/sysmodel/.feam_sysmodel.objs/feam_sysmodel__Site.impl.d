@@ -1,0 +1,1 @@
+lib/sysmodel/site.ml: Batch Compiler Distro Env Fault_model Feam_elf Feam_mpi Feam_util Fmt Interconnect List Prng Stack Stack_install Tools Version Vfs

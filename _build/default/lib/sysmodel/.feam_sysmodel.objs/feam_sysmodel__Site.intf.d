@@ -1,0 +1,1 @@
+lib/sysmodel/site.mli: Batch Distro Env Fault_model Feam_elf Feam_mpi Feam_util Fmt Stack_install Tools Vfs

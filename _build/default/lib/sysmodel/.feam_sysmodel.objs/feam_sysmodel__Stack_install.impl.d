@@ -1,0 +1,1 @@
+lib/sysmodel/stack_install.ml: Feam_mpi Feam_util List Stack

@@ -1,0 +1,1 @@
+lib/sysmodel/stack_install.mli: Feam_mpi Feam_util

@@ -1,0 +1,1 @@
+lib/sysmodel/str_split.ml: List String

@@ -1,0 +1,1 @@
+lib/sysmodel/utilities.ml: Buffer Cost Distro Feam_elf Feam_util List Option Printf Site String Tools Version Vfs

@@ -1,0 +1,1 @@
+lib/sysmodel/utilities.mli: Feam_elf Feam_util Site

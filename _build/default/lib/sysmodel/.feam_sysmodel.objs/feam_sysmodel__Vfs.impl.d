@@ -1,0 +1,1 @@
+lib/sysmodel/vfs.ml: Hashtbl List Option Printf String

@@ -1,0 +1,30 @@
+(** Shell environment of a simulated site session: an immutable variable
+    map plus helpers for the colon-separated path variables the
+    resolution model manipulates (PATH, LD_LIBRARY_PATH). *)
+
+type t
+
+val empty : t
+val get : t -> string -> string option
+val get_or : t -> string -> default:string -> string
+val set : t -> string -> string -> t
+val unset : t -> string -> t
+val bindings : t -> (string * string) list
+val of_list : (string * string) list -> t
+
+(** Split a colon-separated path list, dropping empty components. *)
+val split_paths : string -> string list
+
+(** Path components of a variable; empty when unset. *)
+val paths : t -> string -> string list
+
+(** Prepend a directory to a path variable (how the resolution model
+    exposes staged library copies, paper §IV). *)
+val prepend_path : t -> string -> string -> t
+
+val append_path : t -> string -> string -> t
+val ld_library_path : t -> string list
+val path : t -> string list
+
+(** Render as `env` would print it (sorted). *)
+val to_string : t -> string

@@ -1,0 +1,25 @@
+(* The stochastic fault model of a simulated site: the error classes the
+   paper's evaluation attributes to the environment rather than to any
+   determinant FEAM can check (§VI.C "system errors", plus the ABI
+   subtleties of staged library copies).
+
+   The model is part of the site so that every run at that site — the
+   ground-truth executor, FEAM's probes — sees the same world.  All draws
+   are keyed and seeded: the world is stochastic but reproducible. *)
+
+type t = {
+  (* per-attempt transient system error (overcome by the retry policy) *)
+  p_transient : float;
+  (* per-migration sticky system error: an overloaded or broken service
+     window that outlasts retries *)
+  p_sticky : float;
+  (* global scale on each library's provenance-recorded copy-ABI
+     fragility (1.0 = use the per-library value as-is) *)
+  p_copy_abi : float;
+}
+
+(* Realistic defaults, calibrated with the paper's evaluation. *)
+let default = { p_transient = 0.01; p_sticky = 0.008; p_copy_abi = 1.0 }
+
+(* A fault-free world: demos and deterministic tests. *)
+let none = { p_transient = 0.0; p_sticky = 0.0; p_copy_abi = 0.0 }

@@ -1,0 +1,24 @@
+(** The stochastic fault model of a simulated site: the error classes the
+    paper's evaluation attributes to the environment rather than to any
+    determinant FEAM can check (§VI.C "system errors", plus ABI
+    subtleties of staged library copies).
+
+    Part of the site, so every run there — the ground-truth executor and
+    FEAM's probes — sees the same world.  All draws are keyed and seeded:
+    stochastic but reproducible. *)
+
+type t = {
+  p_transient : float;
+      (** per-attempt transient system error (overcome by retries) *)
+  p_sticky : float;
+      (** per-migration sticky system error outlasting retries *)
+  p_copy_abi : float;
+      (** global scale on each library's provenance-recorded copy-ABI
+          fragility (1.0 = as-is) *)
+}
+
+(** Realistic defaults, calibrated against the paper's evaluation. *)
+val default : t
+
+(** A fault-free world: demos and deterministic tests. *)
+val none : t

@@ -1,0 +1,21 @@
+(* Split a string on a multi-character separator (Stdlib only splits on
+   single characters). *)
+
+let split_on_string ~sep s =
+  if sep = "" then invalid_arg "Str_split.split_on_string: empty separator";
+  let seplen = String.length sep in
+  let n = String.length s in
+  let rec go start acc =
+    let rec find i =
+      if i + seplen > n then None
+      else if String.sub s i seplen = sep then Some i
+      else find (i + 1)
+    in
+    match find start with
+    | None -> List.rev (String.sub s start (n - start) :: acc)
+    | Some i -> go (i + seplen) (String.sub s start (i - start) :: acc)
+  in
+  go 0 []
+
+let contains ~sub s =
+  match split_on_string ~sep:sub s with [ _ ] -> false | _ -> true

@@ -1,0 +1,8 @@
+(** String helpers missing from the standard library. *)
+
+(** Split on a multi-character separator.
+    @raise Invalid_argument on an empty separator. *)
+val split_on_string : sep:string -> string -> string list
+
+(** Does the string contain the substring? *)
+val contains : sub:string -> string -> bool

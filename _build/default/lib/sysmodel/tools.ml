@@ -1,0 +1,46 @@
+(* Availability of the Unix utilities FEAM relies on.  The paper gathers
+   each piece of information "in multiple ways ... in case some tools are
+   not present or functioning at a particular target site" (§V); this
+   record is what makes those fallback paths exercisable in tests. *)
+
+type t = {
+  objdump : bool;
+  readelf : bool;
+  ldd : bool;          (* also covers the "ldd does not recognize the binary" failure *)
+  locate : bool;       (* locate database present and fresh *)
+  uname : bool;
+  find : bool;
+  c_compiler : bool;   (* native serial compiler available to build probes *)
+}
+
+let full =
+  {
+    objdump = true;
+    readelf = true;
+    ldd = true;
+    locate = true;
+    uname = true;
+    find = true;
+    c_compiler = true;
+  }
+
+(* A deliberately spartan login environment: no locate database, no
+   native compiler — common on stripped-down compute front-ends. *)
+let minimal =
+  {
+    objdump = true;
+    readelf = false;
+    ldd = false;
+    locate = false;
+    uname = true;
+    find = true;
+    c_compiler = false;
+  }
+
+let with_objdump v t = { t with objdump = v }
+let with_readelf v t = { t with readelf = v }
+let with_ldd v t = { t with ldd = v }
+let with_locate v t = { t with locate = v }
+let with_uname v t = { t with uname = v }
+let with_find v t = { t with find = v }
+let with_c_compiler v t = { t with c_compiler = v }

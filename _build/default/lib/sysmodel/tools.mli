@@ -1,0 +1,29 @@
+(** Availability of the Unix utilities FEAM relies on.  The paper gathers
+    each piece of information "in multiple ways ... in case some tools
+    are not present or functioning" (§V); this record makes those
+    fallback paths exercisable. *)
+
+type t = {
+  objdump : bool;
+  readelf : bool;
+  ldd : bool;
+  locate : bool;  (** locate database present and fresh *)
+  uname : bool;
+  find : bool;
+  c_compiler : bool;  (** native serial compiler for building probes *)
+}
+
+(** Everything available. *)
+val full : t
+
+(** A spartan login environment: no readelf, no ldd, no locate, no
+    native compiler. *)
+val minimal : t
+
+val with_objdump : bool -> t -> t
+val with_readelf : bool -> t -> t
+val with_ldd : bool -> t -> t
+val with_locate : bool -> t -> t
+val with_uname : bool -> t -> t
+val with_find : bool -> t -> t
+val with_c_compiler : bool -> t -> t

@@ -1,0 +1,72 @@
+(** Emulation of the standard Unix utilities FEAM composes (paper §V):
+    objdump, readelf, file, uname, locate, find, plus /proc and /etc
+    reads.
+
+    Each emulation reads only the site's virtual filesystem and renders
+    output in the real tool's text format; the framework parses that
+    text, exactly as the real implementation shells out and parses.  When
+    the site's {!Tools} record marks a tool absent, the emulation returns
+    [`Tool_unavailable] and the framework must fall back. *)
+
+type error =
+  [ `Tool_unavailable of string
+  | `No_such_file of string
+  | `Not_elf of string ]
+
+val error_to_string : error -> string
+
+(** objdump-style format descriptor ("elf64-x86-64", ...). *)
+val file_format_string : Feam_elf.Spec.t -> string
+
+(** Raw ELF bytes at a path (the `cp` view, no parsing). *)
+val read_elf_bytes : Site.t -> string -> (string, error) result
+
+(** Parse the ELF image at a path. *)
+val parse_elf : Site.t -> string -> (Feam_elf.Reader.t, error) result
+
+(** `objdump -p PATH`: format line, Dynamic Section, Version
+    References/definitions — the BDC's primary information source. *)
+val objdump_p :
+  ?clock:Feam_util.Sim_clock.t -> Site.t -> string -> (string, error) result
+
+(** `file PATH`: always available; the BDC's fallback for format/ISA
+    identification. *)
+val file_cmd :
+  ?clock:Feam_util.Sim_clock.t -> Site.t -> string -> (string, error) result
+
+(** `readelf -p .comment PATH`. *)
+val readelf_comment :
+  ?clock:Feam_util.Sim_clock.t -> Site.t -> string -> (string, error) result
+
+(** `uname -p`. *)
+val uname_p :
+  ?clock:Feam_util.Sim_clock.t -> Site.t -> (string, error) result
+
+(** `cat /proc/version` (always available). *)
+val proc_version : ?clock:Feam_util.Sim_clock.t -> Site.t -> string
+
+(** Contents of the /etc/*release files present at the site. *)
+val etc_release :
+  ?clock:Feam_util.Sim_clock.t -> Site.t -> (string * string) list
+
+(** `locate NAME`: paths whose basename starts with NAME. *)
+val locate :
+  ?clock:Feam_util.Sim_clock.t ->
+  Site.t ->
+  string ->
+  (string list, error) result
+
+(** `find DIR... -name NAME*`. *)
+val find_in_dirs :
+  ?clock:Feam_util.Sim_clock.t ->
+  Site.t ->
+  string list ->
+  string ->
+  (string list, error) result
+
+(** The banner the C library binary prints when executed; the EDC parses
+    the version out of it (paper §V.B). *)
+val glibc_banner : ?clock:Feam_util.Sim_clock.t -> Site.t -> string
+
+(** Locate libc.so.6 in the site's default library directories. *)
+val find_libc : ?clock:Feam_util.Sim_clock.t -> Site.t -> string option

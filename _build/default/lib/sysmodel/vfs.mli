@@ -1,0 +1,65 @@
+(** Virtual filesystem of a simulated computing site.
+
+    Regular files (ELF images, scripts, plain text) and symlinks live
+    under absolute, normalized paths; directories are implicit.  ELF
+    contents are real bytes; [declared_size] carries the realistic
+    on-disk size used for bundle accounting, independent of the metadata
+    image's length. *)
+
+type kind =
+  | Elf of string  (** ELF image bytes *)
+  | Script of string  (** executable text: wrappers, submission scripts *)
+  | Text of string  (** /etc files, module files, ... *)
+  | Symlink of string  (** absolute or relative target *)
+
+type file = { kind : kind; declared_size : int }
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+(** Normalize an absolute path (collapse "//", resolve "." and "..").
+    @raise Invalid_argument on relative paths. *)
+val normalize : string -> string
+
+val dirname : string -> string
+val basename : string -> string
+
+(** Add or replace a file.  [declared_size] defaults to the content
+    length (ELF image size / text length). *)
+val add : ?declared_size:int -> t -> string -> kind -> unit
+
+val remove : t -> string -> unit
+
+(** Resolve symlinks (bounded depth; cycles yield [None]); returns the
+    real path and the file. *)
+val resolve : ?depth:int -> t -> string -> (string * file) option
+
+val find : t -> string -> file option
+val exists : t -> string -> bool
+val kind_of : t -> string -> kind option
+
+(** Declared size, as `du` would report for one file. *)
+val file_size : t -> string -> int option
+
+val is_dir : t -> string -> bool
+
+(** Direct children names of a directory, sorted. *)
+val list_dir : t -> string -> string list
+
+(** All file paths, sorted: the `locate` database view. *)
+val all_paths : t -> string list
+
+(** Paths whose basename satisfies the predicate. *)
+val find_by_basename : t -> (string -> bool) -> string list
+
+(** Paths under a directory whose basename satisfies the predicate
+    (`find DIR -name`). *)
+val find_under : t -> string -> (string -> bool) -> string list
+
+(** Remove a whole subtree (`rm -rf`). *)
+val remove_tree : t -> string -> unit
+
+(** Total declared size below a directory (`du -s`). *)
+val du : t -> string -> int

@@ -1,0 +1,1 @@
+lib/toolchain/build_id.ml: Digest Printf

@@ -1,0 +1,1 @@
+lib/toolchain/compile.ml: Build_id Compiler Cost Distro Feam_elf Feam_mpi Feam_sysmodel Feam_util Glibc List Printf Provenance Provision Site Soname Stack Stack_install Tools Version Vfs

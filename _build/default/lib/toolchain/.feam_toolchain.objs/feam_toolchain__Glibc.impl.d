@@ -1,0 +1,1 @@
+lib/toolchain/glibc.ml: Feam_util List Soname String Version

@@ -1,0 +1,1 @@
+lib/toolchain/glibc.mli: Feam_util

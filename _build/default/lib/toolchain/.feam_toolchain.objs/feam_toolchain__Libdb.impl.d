@@ -1,0 +1,1 @@
+lib/toolchain/libdb.ml: Feam_mpi Feam_util Glibc List Soname Version

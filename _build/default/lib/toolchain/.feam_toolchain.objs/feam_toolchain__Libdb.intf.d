@@ -1,0 +1,1 @@
+lib/toolchain/libdb.mli: Feam_mpi Feam_util

@@ -1,0 +1,1 @@
+lib/toolchain/provenance.ml: Digest Feam_mpi Feam_util Hashtbl Version

@@ -1,0 +1,1 @@
+lib/toolchain/provenance.mli: Feam_mpi Feam_util

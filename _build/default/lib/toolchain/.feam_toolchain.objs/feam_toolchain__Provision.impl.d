@@ -1,0 +1,1 @@
+lib/toolchain/provision.ml: Build_id Compiler Distro Feam_elf Feam_mpi Feam_sysmodel Feam_util Glibc Interconnect Libdb List Modules_tool Printf Provenance Site Soname Stack Stack_install Version Vfs

@@ -1,0 +1,1 @@
+lib/toolchain/provision.mli: Feam_mpi Feam_sysmodel Feam_util Libdb

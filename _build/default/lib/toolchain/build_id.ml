@@ -1,0 +1,17 @@
+(* Unique build identification.  Real toolchains stamp every object with
+   a distinct build ID (and timestamps), so no two builds — even of the
+   same source on identical systems — produce byte-identical images.
+   The simulator reproduces that: a process-global serial is folded into
+   a comment string embedded in each image, which keeps the ground-truth
+   provenance registry (keyed by image bytes) collision-free and gives
+   every probe compile an independent identity. *)
+
+let counter = ref 0
+
+let reset () = counter := 0
+
+(* A .comment-style build-id string, unique per call. *)
+let next ~site_name =
+  incr counter;
+  let raw = Printf.sprintf "%s/%d" site_name !counter in
+  Printf.sprintf "GNU Build ID: %s" (Digest.to_hex (Digest.string raw))

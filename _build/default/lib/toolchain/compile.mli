@@ -1,0 +1,87 @@
+(** Compile simulator: what `mpicc`/`mpif90` under a given stack produce
+    on a given site.  The output is a real ELF image whose dependency
+    set, symbol-version references and .comment provenance follow from
+    the stack, compiler family and site glibc — the channels the
+    prediction model later reads. *)
+
+(** A program source as the toolchain sees it. *)
+type program = {
+  prog_name : string;
+  language : Feam_mpi.Stack.language;
+  uses_mpi : bool;
+  glibc_appetite : Feam_util.Version.t;
+      (** newest glibc feature level the source uses *)
+  extra_libs : Feam_util.Soname.t list;
+  binary_size_mb : float;
+  runtime_fragility : float;
+  is_probe : bool;
+  np_rule : [ `Any | `Power_of_two | `Square ];
+      (** valid MPI process counts (NPB BT/SP need squares, kernels
+          powers of two) *)
+}
+
+val program :
+  ?language:Feam_mpi.Stack.language ->
+  ?uses_mpi:bool ->
+  ?glibc_appetite:Feam_util.Version.t ->
+  ?extra_libs:Feam_util.Soname.t list ->
+  ?binary_size_mb:float ->
+  ?runtime_fragility:float ->
+  ?is_probe:bool ->
+  ?np_rule:[ `Any | `Power_of_two | `Square ] ->
+  string ->
+  program
+
+(** MPI "hello world" probe sources (paper §V.B), C and Fortran. *)
+val hello_world_mpi : program
+
+val hello_world_mpi_fortran : program
+val hello_world_serial : program
+
+type error =
+  | Wrapper_missing of string
+  | Compiler_unavailable
+  | Source_incompatible of string
+  | No_static_libraries
+
+val error_to_string : error -> string
+
+(** The base dependencies every program gets (libm, libpthread, libc). *)
+val base_needed : string list
+
+(** Compile with the stack's MPI wrapper; returns the ELF image bytes. *)
+val compile_mpi :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  Feam_sysmodel.Stack_install.t ->
+  program ->
+  (string, error) result
+
+(** Statically linked build: no dynamic dependencies at all; available
+    only where the MPI install ships static libraries (paper SVI.C). *)
+val compile_mpi_static :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  Feam_sysmodel.Stack_install.t ->
+  program ->
+  (string, error) result
+
+(** Native serial compile (probe programs); needs a native compiler. *)
+val compile_serial :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  program ->
+  (string, error) result
+
+(** Declared on-disk size of the program's binary. *)
+val declared_size : program -> int
+
+(** Compile and install the binary into the site filesystem; returns its
+    path. *)
+val compile_mpi_to :
+  ?clock:Feam_util.Sim_clock.t ->
+  Feam_sysmodel.Site.t ->
+  Feam_sysmodel.Stack_install.t ->
+  program ->
+  dir:string ->
+  (string, error) result

@@ -1,0 +1,223 @@
+(* Catalog of the shared libraries that populate simulated sites: system
+   libraries, compiler runtimes, InfiniBand user-space libraries and MPI
+   implementation libraries.
+
+   Each entry records the library's soname, a realistic on-disk size
+   (bundle-size accounting, paper §VI.C reports ~45 MB bundles), its
+   dependency sonames, and its *glibc appetite*: the newest glibc feature
+   level its own code uses.  Distribution-built libraries track the
+   site's glibc closely (high appetite), while portable vendor runtimes
+   (Intel, PGI) deliberately target old glibc versions (low appetite) —
+   the distinction decides whether a copied library can be reused on a
+   site with an older C library. *)
+
+open Feam_util
+
+type origin =
+  | System            (* distro base system: always in default lib dirs *)
+  | Gnu_runtime       (* distro-packaged GCC runtime, default lib dirs *)
+  | Vendor_runtime of Feam_mpi.Compiler.family (* /opt install, ld.so.conf *)
+  | Infiniband        (* user-space fabric libs, only on IB sites *)
+  | Mpi               (* lives under an MPI stack's install prefix *)
+
+type entry = {
+  soname : Soname.t;
+  size_mb : float;
+  appetite : Version.t; (* newest glibc feature level used; capped by build glibc *)
+  deps : Soname.t list; (* dependencies besides libc *)
+  origin : origin;
+  (* Part of the glibc package itself (libm, libpthread, ...): defines
+     the GLIBC_* symbol versions of its release, like libc does. *)
+  part_of_glibc : bool;
+  (* Probability that a *copy* of this library, staged on a foreign
+     site, breaks on ABI subtleties the metadata checks cannot see.
+     Proprietary compiler runtimes are the worst offenders; plain C
+     system libraries the safest. *)
+  copy_abi_fragility : float;
+}
+
+let high_appetite = Version.of_ints [ 99 ] (* "tracks the build glibc" *)
+let portable = Version.of_string_exn "2.3.4"
+
+(* GNU runtime libraries use the glibc feature level of their GCC
+   release's era: gcc-3.x runtimes are fully portable, gcc-4.1 runtimes
+   need a mid-2000s glibc, gcc-4.4 runtimes need a late-2000s glibc.
+   This is what makes copies from newer sites incompatible with older
+   sites' C libraries — the paper's primary cause of unresolvable
+   missing-library failures (§VI.C). *)
+let gnu_runtime_appetite gcc_version =
+  if Version.(gcc_version < of_string_exn "4") then portable
+  else if Version.(gcc_version < of_string_exn "4.4") then
+    Version.of_string_exn "2.4"
+  else Version.of_string_exn "2.6"
+
+let entry ?(size_mb = 0.3) ?(appetite = high_appetite) ?(deps = [])
+    ?(part_of_glibc = false) ?copy_abi_fragility ~origin soname =
+  let copy_abi_fragility =
+    match copy_abi_fragility with
+    | Some f -> f
+    | None -> (
+      match origin with
+      | Vendor_runtime Feam_mpi.Compiler.Pgi -> 0.5
+      | Vendor_runtime _ -> 0.25
+      | Gnu_runtime -> 0.30
+      | Mpi -> 0.15
+      | Infiniband -> 0.05
+      | System -> 0.03)
+  in
+  { soname; size_mb; appetite; deps; origin; part_of_glibc; copy_abi_fragility }
+
+let so = Soname.make
+
+(* -- Base system ------------------------------------------------------- *)
+
+let glibc_component = entry ~part_of_glibc:true ~origin:System
+
+let libm = glibc_component ~size_mb:0.6 Glibc.libm_soname
+let libpthread = glibc_component ~size_mb:0.14 Glibc.libpthread_soname
+let libdl = glibc_component ~size_mb:0.02 Glibc.libdl_soname
+let librt = glibc_component ~size_mb:0.05 Glibc.librt_soname
+let libutil = glibc_component ~size_mb:0.02 (so ~version:[ 1 ] "libutil")
+let libnsl = glibc_component ~size_mb:0.1 (so ~version:[ 1 ] "libnsl")
+let libz = entry ~origin:System ~size_mb:0.09 ~appetite:portable (so ~version:[ 1 ] "libz")
+let libstdcxx =
+  entry ~origin:Gnu_runtime ~size_mb:1.0
+    ~appetite:(Version.of_string_exn "2.4")
+    ~deps:[ Glibc.libm_soname; so ~version:[ 1 ] "libgcc_s" ]
+    (so ~version:[ 6 ] "libstdc++")
+
+let base_system = [ libm; libpthread; libdl; librt; libutil; libnsl; libz ]
+
+(* -- GNU compiler runtime ---------------------------------------------- *)
+
+let libgcc_s =
+  entry ~origin:Gnu_runtime ~size_mb:0.09 ~appetite:portable
+    (so ~version:[ 1 ] "libgcc_s")
+
+let gnu_fortran_runtime version =
+  (* soname follows the GCC release installed at the site *)
+  Feam_mpi.Compiler.fortran_runtime_libs (Feam_mpi.Compiler.make Feam_mpi.Compiler.Gnu version)
+  |> List.map (fun soname ->
+         entry ~origin:Gnu_runtime ~size_mb:1.2
+           ~appetite:(gnu_runtime_appetite version)
+           ~deps:[ Glibc.libm_soname; so ~version:[ 1 ] "libgcc_s" ]
+           soname)
+
+(* -- Vendor compiler runtimes ------------------------------------------ *)
+
+let intel_runtime =
+  [
+    entry ~origin:(Vendor_runtime Feam_mpi.Compiler.Intel) ~size_mb:2.8
+      ~appetite:portable (so "libimf");
+    entry ~origin:(Vendor_runtime Feam_mpi.Compiler.Intel) ~size_mb:6.0
+      ~appetite:portable (so "libsvml");
+    entry ~origin:(Vendor_runtime Feam_mpi.Compiler.Intel) ~size_mb:0.3
+      ~appetite:portable (so ~version:[ 5 ] "libintlc");
+    entry ~origin:(Vendor_runtime Feam_mpi.Compiler.Intel) ~size_mb:1.8
+      ~appetite:portable
+      ~deps:[ so "libimf"; so ~version:[ 5 ] "libintlc" ]
+      (so ~version:[ 5 ] "libifcore");
+    entry ~origin:(Vendor_runtime Feam_mpi.Compiler.Intel) ~size_mb:0.6
+      ~appetite:portable (so ~version:[ 5 ] "libifport");
+  ]
+
+(* PGI runtimes are portable across the era's glibc versions, but their
+   copies are the most ABI-fragile objects in the catalog: the runtime is
+   tightly coupled to the compiler release that produced the binary. *)
+let pgi_runtime _version =
+  let appetite = portable in
+  [
+    entry ~origin:(Vendor_runtime Feam_mpi.Compiler.Pgi) ~size_mb:1.1 ~appetite
+      (so "libpgc");
+    entry ~origin:(Vendor_runtime Feam_mpi.Compiler.Pgi) ~size_mb:1.9 ~appetite
+      ~deps:[ so "libpgc" ]
+      (so "libpgf90");
+    entry ~origin:(Vendor_runtime Feam_mpi.Compiler.Pgi) ~size_mb:0.4 ~appetite
+      ~deps:[ so "libpgc" ]
+      (so "libpgf90rtl");
+  ]
+
+(* -- Site-local scientific libraries ------------------------------------ *)
+
+(* Numerical libraries that end-user MPI applications link (FFTW, HDF5).
+   Their sonames differ across distribution generations — enterprise
+   Linux 4/5 shipped FFTW 2 and early HDF5, newer systems FFTW 3 and
+   HDF5 1.8 — so binaries crossing the generation divide arrive with
+   unresolvable-by-the-site dependencies that a library copy satisfies
+   (the copies are portable, built against old glibc). *)
+
+type scientific_family = Fftw | Hdf5
+
+type generation = Old_generation | New_generation
+
+let scientific_soname family generation =
+  match (family, generation) with
+  | Fftw, Old_generation -> so ~version:[ 2 ] "libfftw"
+  | Fftw, New_generation -> so ~version:[ 3 ] "libfftw3"
+  | Hdf5, Old_generation -> so ~version:[ 0 ] "libhdf5"
+  | Hdf5, New_generation -> so ~version:[ 6 ] "libhdf5"
+
+let scientific_entry family generation =
+  let size_mb = match family with Fftw -> 1.6 | Hdf5 -> 2.2 in
+  (* New-generation builds use late-2000s glibc features, so their
+     copies are rejected (predictably, by the C-library vetting rule)
+     on the older sites; old-generation builds travel anywhere. *)
+  let appetite =
+    match generation with
+    | Old_generation -> portable
+    | New_generation -> Version.of_string_exn "2.6"
+  in
+  entry ~origin:System ~size_mb ~appetite ~copy_abi_fragility:0.25
+    ~deps:[ Glibc.libm_soname ]
+    (scientific_soname family generation)
+
+let scientific_families = [ Fftw; Hdf5 ]
+
+(* -- InfiniBand user space --------------------------------------------- *)
+
+let infiniband_libs =
+  [
+    entry ~origin:Infiniband ~size_mb:0.07 (so ~version:[ 1 ] "libibverbs");
+    entry ~origin:Infiniband ~size_mb:0.06 (so ~version:[ 3 ] "libibumad");
+    entry ~origin:Infiniband ~size_mb:0.08
+      ~deps:[ so ~version:[ 1 ] "libibverbs" ]
+      (so ~version:[ 1 ] "librdmacm");
+  ]
+
+(* -- MPI implementation libraries --------------------------------------- *)
+
+(* Dependency structure of the MPI libraries a stack installs under its
+   prefix.  Open MPI layers libmpi over libopen-rte over libopen-pal and
+   links libnsl/libutil (its Table I fingerprint); MPICH2/MVAPICH2 ship a
+   monolithic libmpich, MVAPICH2's linked against the verbs stack. *)
+let mpi_entries (stack : Feam_mpi.Stack.t) =
+  let impl = Feam_mpi.Stack.impl stack in
+  let fingerprints = Feam_mpi.Impl.extra_system_libs impl in
+  match impl with
+  | Feam_mpi.Impl.Open_mpi ->
+    let pal = so ~version:[ 0 ] "libopen-pal" in
+    let rte = so ~version:[ 0 ] "libopen-rte" in
+    let mpi = so ~version:[ 0 ] "libmpi" in
+    [
+      entry ~origin:Mpi ~size_mb:1.8 ~deps:[ libutil.soname; libnsl.soname ] pal;
+      entry ~origin:Mpi ~size_mb:1.2 ~deps:[ pal; libutil.soname; libnsl.soname ] rte;
+      entry ~origin:Mpi ~size_mb:2.4 ~deps:[ rte; pal; Glibc.libm_soname ] mpi;
+      entry ~origin:Mpi ~size_mb:0.3 ~deps:[ mpi ] (so ~version:[ 0 ] "libmpi_f77");
+      entry ~origin:Mpi ~size_mb:0.2 ~deps:[ mpi ] (so ~version:[ 0 ] "libmpi_f90");
+    ]
+  | Feam_mpi.Impl.Mpich2 ->
+    let mpich = so ~version:[ 1 ] "libmpich" in
+    [
+      entry ~origin:Mpi ~size_mb:3.1 ~deps:[ Glibc.librt_soname ] mpich;
+      entry ~origin:Mpi ~size_mb:0.4 ~deps:[ mpich ] (so ~version:[ 1 ] "libmpichf90");
+    ]
+  | Feam_mpi.Impl.Mvapich2 ->
+    let mpich = so ~version:[ 1 ] "libmpich" in
+    [
+      entry ~origin:Mpi ~size_mb:3.6
+        ~deps:(Glibc.librt_soname :: fingerprints)
+        mpich;
+      entry ~origin:Mpi ~size_mb:0.4 ~deps:[ mpich ] (so ~version:[ 1 ] "libmpichf90");
+    ]
+
+let size_bytes e = int_of_float (e.size_mb *. 1024.0 *. 1024.0)

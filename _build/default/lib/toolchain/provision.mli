@@ -1,0 +1,63 @@
+(** Provisioning: populates a site's virtual filesystem with the shared
+    libraries, release files, tool configuration and MPI stack installs
+    its Table II characteristics imply.  Every installed library is a
+    real ELF image built against the site's glibc — so copies taken from
+    one site carry that site's C-library requirements with them. *)
+
+(** The ELF image of one catalog library as built/packaged on the site. *)
+val library_image :
+  Feam_sysmodel.Site.t ->
+  Libdb.entry ->
+  built_with:Feam_mpi.Compiler.t ->
+  string
+
+(** The C library image: defines every symbol version of its release. *)
+val libc_image : Feam_sysmodel.Site.t -> string
+
+(** Scientific-library generation of a site (enterprise Linux 4/5 = old
+    FFTW 2 / early HDF5 sonames, newer = new ones). *)
+val scientific_generation : Feam_sysmodel.Site.t -> Libdb.generation
+
+(** The soname a program linking a scientific family gets on a site. *)
+val scientific_soname :
+  Feam_sysmodel.Site.t -> Libdb.scientific_family -> Feam_util.Soname.t
+
+(** Default compiler that built the site's distro packages. *)
+val distro_compiler : Feam_sysmodel.Site.t -> Feam_mpi.Compiler.t
+
+(** Install one catalog library (plus its dev symlink) into a directory. *)
+val install_library :
+  Feam_sysmodel.Site.t ->
+  dir:string ->
+  built_with:Feam_mpi.Compiler.t ->
+  Libdb.entry ->
+  unit
+
+(** Base system: libc and friends, GNU runtime, compat runtimes on EL5,
+    scientific libraries, InfiniBand user space where the fabric exists,
+    release files. *)
+val provision_base : Feam_sysmodel.Site.t -> unit
+
+(** Install prefix used for vendor compiler suites. *)
+val compiler_prefix : Feam_mpi.Compiler.t -> string
+
+(** Install a vendor compiler runtime under /opt and register it with the
+    linker cache (GNU runtimes come with the base system). *)
+val provision_compiler : Feam_sysmodel.Site.t -> Feam_mpi.Compiler.t -> unit
+
+(** Install an MPI stack under its prefix (libraries, wrappers, launcher)
+    and register it on the site. *)
+val provision_stack :
+  Feam_sysmodel.Site.t ->
+  ?health:Feam_sysmodel.Stack_install.health ->
+  ?registered:bool ->
+  ?static_libs:bool ->
+  Feam_mpi.Stack.t ->
+  Feam_sysmodel.Stack_install.t
+
+(** Provision the whole site: base system, native compilers, the given
+    stacks, then the user-environment tool's database. *)
+val provision_site :
+  Feam_sysmodel.Site.t ->
+  stacks:(Feam_mpi.Stack.t * Feam_sysmodel.Stack_install.health) list ->
+  Feam_sysmodel.Stack_install.t list

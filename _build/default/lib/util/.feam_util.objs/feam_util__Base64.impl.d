@@ -1,0 +1,1 @@
+lib/util/base64.ml: Array Buffer Char Printf String

@@ -1,0 +1,1 @@
+lib/util/prng.ml: Char Int64 List String

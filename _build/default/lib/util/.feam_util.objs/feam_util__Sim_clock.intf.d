@@ -1,0 +1,1 @@
+lib/util/sim_clock.mli:

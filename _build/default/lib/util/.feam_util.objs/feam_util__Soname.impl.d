@@ -1,0 +1,1 @@
+lib/util/soname.ml: Fmt List Printf Stdlib String

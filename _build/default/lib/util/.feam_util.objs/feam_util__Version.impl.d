@@ -1,0 +1,1 @@
+lib/util/version.ml: Fmt List Printf Stdlib String

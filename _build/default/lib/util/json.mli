@@ -1,0 +1,25 @@
+(** Minimal JSON emitter and parser for machine-readable FEAM reports.
+    ASCII-oriented (\\u escapes above 127 decode to a placeholder). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering with proper string escaping. *)
+val render : t -> string
+
+(** Parse a complete JSON document. *)
+val parse : string -> (t, string) result
+
+(** Object field lookup; [None] on non-objects and missing keys. *)
+val member : string -> t -> t option
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

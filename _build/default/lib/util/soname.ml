@@ -1,0 +1,86 @@
+(* Shared-object naming convention: lib<name>.so.<major>[.<minor>[.<patch>]].
+   The prediction model's shared-library determinant (paper §III.D) is built
+   on this convention: a library with the same base name and the same major
+   version is API compatible. *)
+
+type t = {
+  base : string;          (* "libmpi", "libgfortran", ... *)
+  version : int list;     (* the trailing dotted numbers; [] for "libfoo.so" *)
+}
+
+let make ?(version = []) base =
+  if base = "" then invalid_arg "Soname.make: empty base";
+  if List.exists (fun c -> c < 0) version then
+    invalid_arg "Soname.make: negative version component";
+  { base; version }
+
+let base t = t.base
+let version t = t.version
+
+let major t =
+  match t.version with
+  | [] -> None
+  | v :: _ -> Some v
+
+let to_string t =
+  let suffix = List.map (fun c -> "." ^ string_of_int c) t.version in
+  t.base ^ ".so" ^ String.concat "" suffix
+
+(* The link name used at compile time: "libfoo.so". *)
+let link_name t = t.base ^ ".so"
+
+(* Parse "libfoo.so.1.2.3".  Returns [None] when there is no ".so"
+   component, e.g. for ordinary file names. *)
+let of_string s =
+  let is_digit c = c >= '0' && c <= '9' in
+  (* Find the last ".so" occurrence that is followed only by dotted
+     numbers (or nothing). *)
+  let n = String.length s in
+  let rec find_so i =
+    if i + 3 > n then None
+    else if String.sub s i 3 = ".so" then
+      let rest = String.sub s (i + 3) (n - i - 3) in
+      let ok, version =
+        if rest = "" then (true, [])
+        else if rest.[0] <> '.' then (false, [])
+        else
+          let parts = String.split_on_char '.' (String.sub rest 1 (String.length rest - 1)) in
+          let numeric p = p <> "" && String.for_all is_digit p in
+          if List.for_all numeric parts then (true, List.map int_of_string parts)
+          else (false, [])
+      in
+      if ok && i > 0 then Some { base = String.sub s 0 i; version }
+      else find_so (i + 1)
+    else find_so (i + 1)
+  in
+  find_so 0
+
+let of_string_exn s =
+  match of_string s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Soname.of_string_exn: %S" s)
+
+let equal a b = a.base = b.base && a.version = b.version
+
+let compare a b =
+  let c = String.compare a.base b.base in
+  if c <> 0 then c else Stdlib.compare a.version b.version
+
+(* [satisfies ~provided ~required]: can a library named [provided] satisfy a
+   dependency on [required]?  Same base name and, when the requirement names
+   a major version, the same major version (libraries sharing a major
+   version are API compatible by convention).  A requirement without a
+   version ("libfoo.so") is satisfied by any version of the library. *)
+let satisfies ~provided ~required =
+  provided.base = required.base
+  &&
+  match (major required, major provided) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some r, Some p -> r = p
+
+(* Order candidate providers for one requirement: higher versions first so
+   that searches pick the newest compatible copy. *)
+let newest_first a b = Stdlib.compare b.version a.version
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,44 @@
+(** Shared-object naming convention: [lib<name>.so.<major>[.<minor>...]].
+
+    The shared-library determinant of the prediction model (paper §III.D)
+    rests on this convention: libraries with the same base name and major
+    version expose compatible APIs. *)
+
+type t
+
+(** [make ?version base] builds a soname; [version] is the trailing dotted
+    numbers (default: none, i.e. a bare link name).
+    @raise Invalid_argument on an empty base or negative component. *)
+val make : ?version:int list -> string -> t
+
+val base : t -> string
+val version : t -> int list
+
+(** Leading version component, if the name carries a version. *)
+val major : t -> int option
+
+(** Renders "libfoo.so.1.2.3" (or "libfoo.so" for an unversioned name). *)
+val to_string : t -> string
+
+(** The compile-time link name: "libfoo.so". *)
+val link_name : t -> string
+
+(** Parse "libfoo.so.1.2.3"; [None] when the string has no ".so"
+    component followed only by dotted numbers. *)
+val of_string : string -> t option
+
+(** @raise Invalid_argument when {!of_string} would return [None]. *)
+val of_string_exn : string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [satisfies ~provided ~required] — can a library named [provided]
+    satisfy a dependency on [required]?  Requires an equal base name and,
+    when [required] is versioned, an equal major version. *)
+val satisfies : provided:t -> required:t -> bool
+
+(** Comparison ordering higher versions first. *)
+val newest_first : t -> t -> int
+
+val pp : t Fmt.t

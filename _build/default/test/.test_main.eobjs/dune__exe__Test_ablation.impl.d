@@ -1,0 +1,1 @@
+test/test_ablation.ml: Ablation Alcotest Feam_evalharness Lazy List Params

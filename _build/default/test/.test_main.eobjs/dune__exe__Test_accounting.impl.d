@@ -1,0 +1,1 @@
+test/test_accounting.ml: Alcotest Batch Cost Fault_model Feam_core Feam_dynlinker Feam_evalharness Feam_suites Feam_sysmodel Feam_util Fixtures List Result Sim_clock Site Str_split String Table

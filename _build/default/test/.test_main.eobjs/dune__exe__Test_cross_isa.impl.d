@@ -1,0 +1,1 @@
+test/test_cross_isa.ml: Alcotest Config Fault_model Feam_core Feam_dynlinker Feam_elf Feam_sysmodel Fixtures List Phases Predict Report Result Site Str_split Utilities Vfs

@@ -1,0 +1,1 @@
+test/test_degraded_tools.ml: Alcotest Config Env Feam_core Feam_dynlinker Feam_sysmodel Fixtures List Option Phases Predict Report Site Tools Vfs

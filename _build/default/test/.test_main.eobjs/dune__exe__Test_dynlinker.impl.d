@@ -1,0 +1,1 @@
+test/test_dynlinker.ml: Alcotest Env Exec Feam_dynlinker Feam_elf Feam_sysmodel Feam_toolchain Feam_util Fixtures Ldd List Resolve Result Search Site Stack_install Str_split Tools Version Vfs

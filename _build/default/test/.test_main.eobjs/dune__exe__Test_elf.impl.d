@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Builder Bytes Feam_elf Fmt List Printf QCheck QCheck_alcotest Reader Spec String Types

@@ -1,0 +1,1 @@
+test/test_env.ml: Alcotest Env Feam_sysmodel List

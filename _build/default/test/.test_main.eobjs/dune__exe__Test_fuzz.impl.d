@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Bytes Char Feam_core Feam_elf Feam_util Fixtures Lazy Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_identification.ml: Alcotest Array Compiler Discovery Feam_core Feam_evalharness Feam_mpi Feam_util Impl List Mpi_ident Option Printf Prng QCheck QCheck_alcotest Soname Stack String Version

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Fault_model Feam_dynlinker Feam_elf Feam_sysmodel Fixtures List Result Site Str_split Utilities Vfs

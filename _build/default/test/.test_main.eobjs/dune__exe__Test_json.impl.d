@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Feam_core Feam_evalharness Feam_suites Feam_sysmodel Feam_util Fixtures Json List Option QCheck QCheck_alcotest Result String

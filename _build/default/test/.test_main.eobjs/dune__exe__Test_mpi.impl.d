@@ -1,0 +1,1 @@
+test/test_mpi.ml: Alcotest Compiler Feam_mpi Feam_util Impl Interconnect List Soname Stack Version

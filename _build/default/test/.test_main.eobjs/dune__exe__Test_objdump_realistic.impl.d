@@ -1,0 +1,1 @@
+test/test_objdump_realistic.ml: Alcotest Description Feam_core Feam_mpi Feam_util List Mpi_ident Objdump_parse Result

@@ -1,0 +1,1 @@
+test/test_ranking.ml: Alcotest Batch Distro Fault_model Feam_core Feam_elf Feam_evalharness Feam_mpi Feam_sysmodel Feam_toolchain Feam_util Fixtures List Ranking Site Stack_install String

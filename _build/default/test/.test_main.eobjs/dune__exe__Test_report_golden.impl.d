@@ -1,0 +1,1 @@
+test/test_report_golden.ml: Alcotest Config Feam_core Feam_elf Feam_mpi Feam_sysmodel Feam_util List Predict Report Result Str_split

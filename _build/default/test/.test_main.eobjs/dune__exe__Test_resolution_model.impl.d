@@ -1,0 +1,1 @@
+test/test_resolution_model.ml: Alcotest Bdc Bundle Config Description Discovery Env Feam_core Feam_elf Feam_sysmodel Feam_util Fixtures List Objdump_parse Resolve_model Site Soname Version

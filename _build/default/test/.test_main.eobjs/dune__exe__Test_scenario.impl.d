@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Batch Fault_model Feam_core Feam_elf Feam_evalharness Feam_mpi Feam_sysmodel Feam_toolchain Feam_util Fixtures List Result Scenario Site Str_split Vfs

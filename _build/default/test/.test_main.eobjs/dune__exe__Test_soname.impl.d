@@ -1,0 +1,1 @@
+test/test_soname.ml: Alcotest Feam_util List QCheck QCheck_alcotest Soname

@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Bdc Description Distro Fault_model Feam_core Feam_dynlinker Feam_elf Feam_mpi Feam_sysmodel Feam_toolchain Feam_util Fixtures List Modules_tool Result Site Vfs

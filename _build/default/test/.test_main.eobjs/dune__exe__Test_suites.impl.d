@@ -1,0 +1,1 @@
+test/test_suites.ml: Alcotest Benchmark Feam_dynlinker Feam_mpi Feam_suites Feam_sysmodel Feam_toolchain Feam_util Fixtures List Npb Npb_class Result Specmpi

@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Feam_evalharness Feam_util List Params String Sweep

@@ -1,0 +1,1 @@
+test/test_sysmodel.ml: Alcotest Batch Distro Env Feam_elf Feam_sysmodel Feam_util Fixtures List Modules_tool Site Stack_install Str_split String Version

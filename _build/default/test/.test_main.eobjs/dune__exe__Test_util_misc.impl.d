@@ -1,0 +1,1 @@
+test/test_util_misc.ml: Alcotest Feam_sysmodel Feam_util List Printf Prng Sim_clock String Table

@@ -1,0 +1,1 @@
+test/test_utilities.ml: Alcotest Feam_sysmodel Feam_util Fixtures List Result Sim_clock Site Str_split Tools Utilities Vfs

@@ -1,0 +1,1 @@
+test/test_version.ml: Alcotest Feam_util Fixtures List Printf QCheck QCheck_alcotest Version

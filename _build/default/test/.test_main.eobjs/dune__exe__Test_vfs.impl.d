@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Feam_sysmodel Fun List QCheck QCheck_alcotest String Vfs

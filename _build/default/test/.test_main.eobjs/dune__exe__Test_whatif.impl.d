@@ -1,0 +1,1 @@
+test/test_whatif.ml: Alcotest Feam_evalharness Feam_mpi Feam_sysmodel Feam_util Params Printf String Whatif

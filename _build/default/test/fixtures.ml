@@ -1,0 +1,86 @@
+(* Shared test fixtures: small provisioned sites and binaries used across
+   the per-module suites.  Each call builds fresh state so tests stay
+   independent. *)
+
+open Feam_util
+open Feam_mpi
+open Feam_sysmodel
+open Feam_toolchain
+
+let v = Version.of_string_exn
+
+let gnu412 = Compiler.make Compiler.Gnu (v "4.1.2")
+let gnu445 = Compiler.make Compiler.Gnu (v "4.4.5")
+let intel11 = Compiler.make Compiler.Intel (v "11.1")
+
+let ompi14 compiler =
+  Stack.make ~impl:Impl.Open_mpi ~impl_version:(v "1.4") ~compiler
+    ~interconnect:Interconnect.Ethernet
+
+let mvapich2 compiler =
+  Stack.make ~impl:Impl.Mvapich2 ~impl_version:(v "1.7a2") ~compiler
+    ~interconnect:Interconnect.Infiniband
+
+let mpich2 compiler =
+  Stack.make ~impl:Impl.Mpich2 ~impl_version:(v "1.4") ~compiler
+    ~interconnect:Interconnect.Ethernet
+
+let default_batch =
+  Batch.make ~queues:[ { Batch.queue_name = "debug"; wait_seconds = 5.0 } ] Batch.Pbs
+
+(* A small fully-provisioned x86-64 site with one healthy Open MPI stack
+   and one MVAPICH2 stack. *)
+let small_site ?(name = "testbed") ?(glibc = "2.5") ?(tools = Tools.full)
+    ?(modules_flavor = Site.Environment_modules)
+    ?(interconnect = Interconnect.Infiniband)
+    ?(machine = Feam_elf.Types.X86_64) ?(stacks = None) () =
+  let site =
+    Site.make ~description:"unit-test site" ~tools ~modules_flavor
+      ~compilers:[ gnu412; intel11 ] ~seed:7 ~machine
+      ~distro:(Distro.make Distro.Centos ~version:(v "5.6") ~kernel:(v "2.6.18"))
+      ~glibc:(v glibc) ~interconnect ~batch:default_batch name
+  in
+  let stacks =
+    match stacks with
+    | Some s -> s
+    | None ->
+      [
+        (ompi14 gnu412, Stack_install.Functioning);
+        (mvapich2 intel11, Stack_install.Functioning);
+      ]
+  in
+  let installs = Provision.provision_site site ~stacks in
+  (site, installs)
+
+(* A site with an old C library (the "Ranger" wall). *)
+let old_glibc_site ?(name = "oldsite") () =
+  small_site ~name ~glibc:"2.3.4" ()
+
+(* A PowerPC site: exercises ISA incompatibility. *)
+let ppc_site ?(name = "ppcsite") () =
+  small_site ~name ~machine:Feam_elf.Types.PPC64 ()
+
+(* Compile a simple C MPI program at a site with its first stack. *)
+let compiled_binary ?(program = Feam_toolchain.Compile.program "app") site
+    installs =
+  let install = List.hd installs in
+  match
+    Compile.compile_mpi_to site install program ~dir:"/home/user/apps"
+  with
+  | Ok path -> (path, install)
+  | Error e -> Alcotest.failf "fixture compile failed: %s" (Compile.error_to_string e)
+
+let fortran_program =
+  Feam_toolchain.Compile.program ~language:Stack.Fortran "fapp"
+
+(* Environment with a stack loaded. *)
+let session_env site install =
+  Modules_tool.load_stack (Site.base_env site) install
+
+let run_exn = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+(* Alcotest testables. *)
+let version = Alcotest.testable Version.pp Version.equal
+let soname = Alcotest.testable Soname.pp Soname.equal

@@ -1,0 +1,56 @@
+(* Shape assertions over the ablation study: each stripped capability
+   must cost what the design says it provides. *)
+
+open Feam_evalharness
+
+let results = lazy (Ablation.run Params.default)
+
+let find name =
+  List.find (fun r -> r.Ablation.variant = name) (Lazy.force results)
+
+let test_probes_carry_accuracy () =
+  let full = find "full FEAM" in
+  let stripped = find "no foreign probes" in
+  (* extended accuracy must drop markedly without the shipped probes *)
+  Alcotest.(check bool) "NAS accuracy drops" true
+    (stripped.Ablation.extended_accuracy_nas
+    < full.Ablation.extended_accuracy_nas -. 0.05);
+  Alcotest.(check bool) "SPEC accuracy drops" true
+    (stripped.Ablation.extended_accuracy_spec
+    < full.Ablation.extended_accuracy_spec -. 0.05)
+
+let test_fortran_probe_contributes () =
+  let full = find "full FEAM" in
+  let c_only = find "C probes only" in
+  Alcotest.(check bool) "NAS accuracy drops without Fortran probe" true
+    (c_only.Ablation.extended_accuracy_nas
+    < full.Ablation.extended_accuracy_nas);
+  (* but not as far as losing probes entirely *)
+  let no_probes = find "no foreign probes" in
+  Alcotest.(check bool) "C probes still beat none" true
+    (c_only.Ablation.extended_accuracy_nas
+    > no_probes.Ablation.extended_accuracy_nas)
+
+let test_resolution_carries_success () =
+  let full = find "full FEAM" in
+  let stripped = find "no resolution" in
+  Alcotest.(check bool) "NAS success collapses" true
+    (stripped.Ablation.after_nas < full.Ablation.after_nas -. 0.08);
+  Alcotest.(check bool) "SPEC success collapses" true
+    (stripped.Ablation.after_spec < full.Ablation.after_spec -. 0.08);
+  (* accuracy is not hurt: unresolvable migrations are still correctly
+     predicted not ready *)
+  Alcotest.(check bool) "accuracy survives" true
+    (stripped.Ablation.extended_accuracy_nas
+    >= full.Ablation.extended_accuracy_nas -. 0.02)
+
+let suite =
+  ( "ablation",
+    [
+      Alcotest.test_case "foreign probes carry accuracy" `Slow
+        test_probes_carry_accuracy;
+      Alcotest.test_case "fortran probe contributes" `Slow
+        test_fortran_probe_contributes;
+      Alcotest.test_case "resolution carries success" `Slow
+        test_resolution_carries_success;
+    ] )

@@ -1,0 +1,134 @@
+(* Tests for base64 and the bundle artifact format. *)
+
+open Feam_util
+open Feam_sysmodel
+open Feam_core
+
+(* -- Base64 ----------------------------------------------------------------- *)
+
+let test_base64_vectors () =
+  (* RFC 4648 test vectors *)
+  List.iter
+    (fun (plain, encoded) ->
+      Alcotest.(check string) ("encode " ^ plain) encoded (Base64.encode plain);
+      Alcotest.(check string) ("decode " ^ encoded) plain (Base64.decode_exn encoded))
+    [
+      ("", ""); ("f", "Zg=="); ("fo", "Zm8="); ("foo", "Zm9v");
+      ("foob", "Zm9vYg=="); ("fooba", "Zm9vYmE="); ("foobar", "Zm9vYmFy");
+    ]
+
+let test_base64_binary () =
+  let all_bytes = String.init 256 Char.chr in
+  Alcotest.(check string) "all byte values" all_bytes
+    (Base64.decode_exn (Base64.encode all_bytes))
+
+let test_base64_rejects () =
+  (match Base64.decode "abc" with
+  | Error Base64.Bad_length -> ()
+  | _ -> Alcotest.fail "expected Bad_length");
+  match Base64.decode "ab!=" with
+  | Error (Base64.Bad_character '!') -> ()
+  | _ -> Alcotest.fail "expected Bad_character"
+
+let gen_bytes = QCheck.Gen.(map Bytes.to_string (bytes_size (int_range 0 512)))
+
+let prop_base64_roundtrip =
+  QCheck.Test.make ~name:"base64: roundtrip" ~count:300
+    (QCheck.make ~print:String.escaped gen_bytes) (fun s ->
+      Base64.decode (Base64.encode s) = Ok s)
+
+let prop_base64_length =
+  QCheck.Test.make ~name:"base64: output length" ~count:300
+    (QCheck.make ~print:String.escaped gen_bytes) (fun s ->
+      String.length (Base64.encode s) = (String.length s + 2) / 3 * 4)
+
+(* -- Bundle round trip --------------------------------------------------------- *)
+
+let make_bundle () =
+  let site, installs = Fixtures.small_site () in
+  let path, install =
+    Fixtures.compiled_binary ~program:Fixtures.fortran_program site installs
+  in
+  let env = Fixtures.session_env site install in
+  Fixtures.run_exn
+    (Phases.source_phase Config.default site env ~binary_path:path)
+
+let test_bundle_roundtrip () =
+  let bundle = make_bundle () in
+  let text = Bundle_io.render bundle in
+  Alcotest.(check bool) "has magic" true
+    (String.starts_with ~prefix:Bundle_io.magic text);
+  let bundle' = Fixtures.run_exn (Bundle_io.parse text) in
+  Alcotest.(check string) "created at" bundle.Bundle.created_at
+    bundle'.Bundle.created_at;
+  Alcotest.(check bool) "binary bytes" true
+    (bundle.Bundle.binary_bytes = bundle'.Bundle.binary_bytes);
+  Alcotest.(check int) "copy count" (List.length bundle.Bundle.copies)
+    (List.length bundle'.Bundle.copies);
+  Alcotest.(check int) "probe count" (List.length bundle.Bundle.probes)
+    (List.length bundle'.Bundle.probes);
+  Alcotest.(check int) "library bytes" (Bundle.library_bytes bundle)
+    (Bundle.library_bytes bundle');
+  (* descriptions survive with derived fields recomputed *)
+  let d = bundle.Bundle.binary_description
+  and d' = bundle'.Bundle.binary_description in
+  Alcotest.(check (list string)) "needed" d.Description.needed d'.Description.needed;
+  Alcotest.(check bool) "required glibc" true
+    (d.Description.required_glibc = d'.Description.required_glibc);
+  Alcotest.(check bool) "mpi ident survives" true
+    ((d.Description.mpi <> None) = (d'.Description.mpi <> None));
+  (* copy bytes are identical after the round trip *)
+  List.iter2
+    (fun (a : Bdc.library_copy) (b : Bdc.library_copy) ->
+      Alcotest.(check string) "copy request" a.Bdc.copy_request b.Bdc.copy_request;
+      Alcotest.(check bool) "copy bytes equal" true
+        (a.Bdc.copy_bytes = b.Bdc.copy_bytes))
+    bundle.Bundle.copies bundle'.Bundle.copies;
+  (* source discovery survives *)
+  Alcotest.(check bool) "discovery glibc" true
+    (bundle.Bundle.source_discovery.Discovery.glibc
+    = bundle'.Bundle.source_discovery.Discovery.glibc)
+
+let test_parsed_bundle_usable_for_target_phase () =
+  (* the deserialized bundle drives a target phase exactly like the
+     original *)
+  let bundle = make_bundle () in
+  let bundle' = Fixtures.run_exn (Bundle_io.parse (Bundle_io.render bundle)) in
+  let target, _ = Fixtures.small_site ~name:"t2" ~glibc:"2.12" () in
+  Vfs.remove_tree (Site.vfs target) "/tmp/feam";
+  let report =
+    Fixtures.run_exn
+      (Phases.target_phase Config.default target (Site.base_env target)
+         ~bundle:bundle' ())
+  in
+  Alcotest.(check bool) "evaluates" true
+    (Predict.is_ready (Report.prediction report)
+    || Predict.reasons (Report.prediction report) <> [])
+
+let test_parse_rejects_garbage () =
+  Alcotest.(check bool) "no magic" true (Result.is_error (Bundle_io.parse "hello"));
+  Alcotest.(check bool) "empty" true (Result.is_error (Bundle_io.parse ""));
+  Alcotest.(check bool) "missing description" true
+    (Result.is_error (Bundle_io.parse (Bundle_io.magic ^ "\ncreated-at: x\n")))
+
+let test_parse_bad_line () =
+  let text = Bundle_io.magic ^ "\ncreated-at: x\nnot a key value line\n" in
+  match Bundle_io.parse text with
+  | Error e -> Alcotest.(check bool) "line number" true
+      (Str_split.contains ~sub:"line 3" e)
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let suite =
+  ( "bundle-io",
+    [
+      Alcotest.test_case "base64 vectors" `Quick test_base64_vectors;
+      Alcotest.test_case "base64 binary" `Quick test_base64_binary;
+      Alcotest.test_case "base64 rejects" `Quick test_base64_rejects;
+      QCheck_alcotest.to_alcotest prop_base64_roundtrip;
+      QCheck_alcotest.to_alcotest prop_base64_length;
+      Alcotest.test_case "bundle roundtrip" `Quick test_bundle_roundtrip;
+      Alcotest.test_case "parsed bundle drives target phase" `Quick
+        test_parsed_bundle_usable_for_target_phase;
+      Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
+      Alcotest.test_case "parse error line numbers" `Quick test_parse_bad_line;
+    ] )

@@ -1,0 +1,102 @@
+(* Cross-ISA integration: a PowerPC world works end to end, and
+   migrations across architectures are refused by the first
+   determinant — on both sides. *)
+
+open Feam_sysmodel
+open Feam_core
+
+let config = Config.default
+
+let ppc_world () =
+  let home, installs = Fixtures.ppc_site ~name:"ppchome" () in
+  let path, install = Fixtures.compiled_binary home installs in
+  (home, path, install)
+
+let test_ppc_binary_is_big_endian_elf () =
+  let home, path, _ = ppc_world () in
+  match Vfs.find (Site.vfs home) path with
+  | Some { Vfs.kind = Vfs.Elf bytes; _ } ->
+    let spec = Result.get_ok (Feam_elf.Reader.spec_of_bytes bytes) in
+    Alcotest.(check bool) "big endian" true
+      (spec.Feam_elf.Spec.endian = Feam_elf.Types.BE);
+    Alcotest.(check bool) "ppc64" true
+      (spec.Feam_elf.Spec.machine = Feam_elf.Types.PPC64)
+  | _ -> Alcotest.fail "no binary"
+
+let test_ppc_to_ppc_ready () =
+  let home, path, home_install = ppc_world () in
+  let target, _ = Fixtures.ppc_site ~name:"ppctarget" () in
+  let env = Fixtures.session_env home home_install in
+  let bundle = Fixtures.run_exn (Phases.source_phase config home env ~binary_path:path) in
+  Vfs.remove_tree (Site.vfs target) "/tmp/feam";
+  let report =
+    Fixtures.run_exn (Phases.target_phase config target (Site.base_env target) ~bundle ())
+  in
+  Alcotest.(check bool) "ready" true (Predict.is_ready (Report.prediction report))
+
+let test_ppc_to_x86_refused () =
+  let home, path, home_install = ppc_world () in
+  let target, _ = Fixtures.small_site ~name:"x86target" () in
+  let env = Fixtures.session_env home home_install in
+  let bundle = Fixtures.run_exn (Phases.source_phase config home env ~binary_path:path) in
+  Vfs.remove_tree (Site.vfs target) "/tmp/feam";
+  let report =
+    Fixtures.run_exn (Phases.target_phase config target (Site.base_env target) ~bundle ())
+  in
+  let p = Report.prediction report in
+  Alcotest.(check bool) "not ready" false (Predict.is_ready p);
+  Alcotest.(check bool) "isa reason" true
+    (List.exists
+       (fun r -> Str_split.contains ~sub:"incompatible ISA" r)
+       (Predict.reasons p));
+  (* ground truth agrees *)
+  let bytes =
+    match Vfs.find (Site.vfs home) path with
+    | Some { Vfs.kind = Vfs.Elf b; _ } -> b
+    | _ -> assert false
+  in
+  Vfs.add (Site.vfs target) "/home/user/ppcapp" (Vfs.Elf bytes);
+  let install = List.hd (Site.stack_installs target) in
+  match
+    Feam_dynlinker.Exec.run ~params:Fault_model.none target
+      (Fixtures.session_env target install)
+      ~binary_path:"/home/user/ppcapp" ~mode:(Feam_dynlinker.Exec.Mpi 4)
+  with
+  | Feam_dynlinker.Exec.Failure (Feam_dynlinker.Exec.Wrong_isa _) -> ()
+  | o -> Alcotest.failf "unexpected: %s" (Feam_dynlinker.Exec.outcome_to_string o)
+
+let test_x86_to_ppc_refused_basic () =
+  (* basic prediction (no bundle) also catches the ISA mismatch *)
+  let home, installs = Fixtures.small_site ~name:"x86home2" () in
+  let path, _ = Fixtures.compiled_binary home installs in
+  let target, _ = Fixtures.ppc_site ~name:"ppctarget2" () in
+  let bytes =
+    match Vfs.find (Site.vfs home) path with
+    | Some { Vfs.kind = Vfs.Elf b; _ } -> b
+    | _ -> assert false
+  in
+  Vfs.add (Site.vfs target) "/home/user/x86app" (Vfs.Elf bytes);
+  let report =
+    Fixtures.run_exn
+      (Phases.target_phase config target (Site.base_env target)
+         ~binary_path:"/home/user/x86app" ())
+  in
+  Alcotest.(check bool) "not ready" false (Predict.is_ready (Report.prediction report))
+
+let test_ppc_uname_and_objdump () =
+  let home, path, _ = ppc_world () in
+  Alcotest.(check string) "uname" "ppc64"
+    (Result.get_ok (Utilities.uname_p home));
+  let out = Result.get_ok (Utilities.objdump_p home path) in
+  Alcotest.(check bool) "format" true
+    (Str_split.contains ~sub:"file format elf64-powerpc" out)
+
+let suite =
+  ( "cross-isa",
+    [
+      Alcotest.test_case "ppc binary is BE ELF" `Quick test_ppc_binary_is_big_endian_elf;
+      Alcotest.test_case "ppc to ppc ready" `Quick test_ppc_to_ppc_ready;
+      Alcotest.test_case "ppc to x86 refused" `Quick test_ppc_to_x86_refused;
+      Alcotest.test_case "x86 to ppc refused (basic)" `Quick test_x86_to_ppc_refused_basic;
+      Alcotest.test_case "ppc tool output" `Quick test_ppc_uname_and_objdump;
+    ] )

@@ -1,0 +1,292 @@
+(* Tests for the ground-truth dynamic linker and executor: search-path
+   precedence, recursive resolution, symbol-version checking, ldd
+   emulation and the execution failure taxonomy. *)
+
+open Feam_util
+open Feam_sysmodel
+open Feam_dynlinker
+
+let v = Version.of_string_exn
+
+(* -- Search --------------------------------------------------------------- *)
+
+let test_search_order () =
+  let site, _ = Fixtures.small_site () in
+  let env = Env.set (Site.base_env site) "LD_LIBRARY_PATH" "/ld/one:/ld/two" in
+  let spec =
+    Feam_elf.Spec.make ~rpath:"/my/rpath" ~needed:[ "libc.so.6" ]
+      Feam_elf.Types.X86_64
+  in
+  let dirs = Search.search_dirs site env spec in
+  (* rpath first, then LD_LIBRARY_PATH, then cache dirs, then defaults *)
+  Alcotest.(check string) "rpath first" "/my/rpath" (List.nth dirs 0);
+  Alcotest.(check string) "then ld path" "/ld/one" (List.nth dirs 1);
+  Alcotest.(check bool) "defaults last" true (List.mem "/lib64" dirs)
+
+let test_runpath_disables_rpath () =
+  let site, _ = Fixtures.small_site () in
+  let spec =
+    Feam_elf.Spec.make ~rpath:"/my/rpath" ~runpath:"/my/runpath"
+      ~needed:[ "libc.so.6" ] Feam_elf.Types.X86_64
+  in
+  let dirs = Search.search_dirs site (Site.base_env site) spec in
+  Alcotest.(check bool) "rpath suppressed" false (List.mem "/my/rpath" dirs);
+  Alcotest.(check bool) "runpath used" true (List.mem "/my/runpath" dirs)
+
+let test_locate_precedence () =
+  let site, _ = Fixtures.small_site () in
+  let vfs = Site.vfs site in
+  Vfs.add vfs "/first/libx.so.1" (Vfs.Elf (Feam_elf.Builder.build (Feam_elf.Spec.make Feam_elf.Types.X86_64)));
+  Vfs.add vfs "/second/libx.so.1" (Vfs.Elf (Feam_elf.Builder.build (Feam_elf.Spec.make Feam_elf.Types.X86_64)));
+  Alcotest.(check (option string)) "first dir wins" (Some "/first/libx.so.1")
+    (Search.locate_in_dirs site [ "/first"; "/second" ] "libx.so.1");
+  Alcotest.(check (option string)) "none" None
+    (Search.locate_in_dirs site [ "/first" ] "liby.so.1")
+
+(* -- Resolve ---------------------------------------------------------------- *)
+
+let compiled ?(glibc = "2.5") ?program () =
+  let site, installs = Fixtures.small_site ~glibc () in
+  let path, install = Fixtures.compiled_binary ?program site installs in
+  (site, installs, path, install)
+
+let parse_at site path =
+  match Vfs.find (Site.vfs site) path with
+  | Some { Vfs.kind = Vfs.Elf bytes; _ } ->
+    Feam_elf.Reader.spec (Feam_elf.Reader.parse_exn bytes)
+  | _ -> Alcotest.fail "binary missing"
+
+let test_resolve_closure () =
+  let site, _, path, install = compiled () in
+  let env = Fixtures.session_env site install in
+  let r = Resolve.run site env (parse_at site path) in
+  Alcotest.(check bool) "ok" true (Resolve.ok r);
+  let names = List.map (fun l -> l.Resolve.lib_name) r.Resolve.resolved in
+  (* transitive dependencies of libmpi are in the closure *)
+  Alcotest.(check bool) "libopen-pal transitively" true
+    (List.mem "libopen-pal.so.0" names);
+  Alcotest.(check bool) "libc" true (List.mem "libc.so.6" names)
+
+let test_resolve_missing_without_env () =
+  let site, _, path, _ = compiled () in
+  (* no module loaded: the MPI libraries are not on any search path *)
+  let r = Resolve.run site (Site.base_env site) (parse_at site path) in
+  Alcotest.(check bool) "missing libmpi" true (List.mem "libmpi.so.0" r.Resolve.missing);
+  Alcotest.(check bool) "not ok" false (Resolve.ok r)
+
+let test_resolve_version_failure () =
+  (* binary requiring GLIBC_2.7 on a glibc 2.5 site *)
+  let site, installs = Fixtures.small_site ~glibc:"2.5" () in
+  let install = List.hd installs in
+  let env = Fixtures.session_env site install in
+  (* hand-build a binary that references a newer version than the site *)
+  let spec =
+    Feam_elf.Spec.make
+      ~needed:[ "libc.so.6" ]
+      ~verneeds:[ { Feam_elf.Spec.vn_file = "libc.so.6"; vn_versions = [ "GLIBC_2.7" ] } ]
+      Feam_elf.Types.X86_64
+  in
+  let r = Resolve.run site env spec in
+  Alcotest.(check bool) "version failure" true (r.Resolve.version_failures <> []);
+  let f = List.hd r.Resolve.version_failures in
+  Alcotest.(check string) "which version" "GLIBC_2.7" f.Resolve.vf_version;
+  Alcotest.(check string) "provider" "libc.so.6" f.Resolve.vf_provider
+
+let test_resolve_arch_mismatch () =
+  let site, _ = Fixtures.small_site () in
+  let vfs = Site.vfs site in
+  (* install a PPC library under the name a binary needs *)
+  let ppc_lib =
+    Feam_elf.Builder.build
+      (Feam_elf.Spec.make ~file_type:Feam_elf.Types.ET_DYN ~soname:"libweird.so.1"
+         Feam_elf.Types.PPC64)
+  in
+  Vfs.add vfs "/lib64/libweird.so.1" (Vfs.Elf ppc_lib);
+  let spec = Feam_elf.Spec.make ~needed:[ "libweird.so.1" ] Feam_elf.Types.X86_64 in
+  let r = Resolve.run site (Site.base_env site) spec in
+  Alcotest.(check bool) "arch mismatch" true
+    (List.exists (fun m -> m.Resolve.am_lib = "libweird.so.1") r.Resolve.arch_mismatches)
+
+(* -- Ldd ---------------------------------------------------------------------- *)
+
+let test_ldd_output () =
+  let site, _, path, install = compiled () in
+  let env = Fixtures.session_env site install in
+  let r = Result.get_ok (Ldd.run site env path) in
+  let text = Ldd.render path r in
+  Alcotest.(check bool) "resolved arrow" true
+    (Str_split.contains ~sub:"libmpi.so.0 => /opt/openmpi-1.4-gnu/lib/libmpi.so.0" text);
+  Alcotest.(check bool) "version info" true
+    (Str_split.contains ~sub:"Version information:" text)
+
+let test_ldd_not_found_lines () =
+  let site, _, path, _ = compiled () in
+  let r = Result.get_ok (Ldd.run site (Site.base_env site) path) in
+  let text = Ldd.render path r in
+  Alcotest.(check bool) "not found" true
+    (Str_split.contains ~sub:"libmpi.so.0 => not found" text);
+  Alcotest.(check bool) "missing listed" true
+    (List.mem "libmpi.so.0" (Ldd.missing_libraries r))
+
+let test_ldd_foreign_binary () =
+  let site, _ = Fixtures.small_site () in
+  let ppc_exec =
+    Feam_elf.Builder.build
+      (Feam_elf.Spec.make ~needed:[ "libc.so.6" ] Feam_elf.Types.PPC64)
+  in
+  Vfs.add (Site.vfs site) "/home/user/ppcapp" (Vfs.Elf ppc_exec);
+  match Ldd.run site (Site.base_env site) "/home/user/ppcapp" with
+  | Error (`Not_dynamic _) -> ()
+  | _ -> Alcotest.fail "ldd should refuse foreign binaries"
+
+let test_ldd_unavailable () =
+  let site, installs = Fixtures.small_site ~tools:(Tools.with_ldd false Tools.full) () in
+  let path, _ = Fixtures.compiled_binary site installs in
+  match Ldd.run site (Site.base_env site) path with
+  | Error (`Tool_unavailable "ldd") -> ()
+  | _ -> Alcotest.fail "expected ldd unavailable"
+
+(* -- Exec ---------------------------------------------------------------------- *)
+
+let quiet_params =
+  { Exec.p_transient = 0.0; p_sticky = 0.0; p_copy_abi = 0.0 }
+
+let run_with site env path =
+  Exec.run ~params:quiet_params site env ~binary_path:path ~mode:(Exec.Mpi 4)
+
+let test_exec_success () =
+  let site, _, path, install = compiled () in
+  let env = Fixtures.session_env site install in
+  Alcotest.(check string) "success" "success"
+    (Exec.outcome_to_string (run_with site env path))
+
+let test_exec_no_stack () =
+  let site, _, path, _ = compiled () in
+  match run_with site (Site.base_env site) path with
+  | Exec.Failure (Exec.Missing_libraries _) -> () (* libs not on path either *)
+  | o -> Alcotest.failf "unexpected: %s" (Exec.outcome_to_string o)
+
+let test_exec_wrong_isa () =
+  let site, _, path, _ = compiled () in
+  let ppc, ppc_installs = Fixtures.ppc_site () in
+  (* stage the x86-64 binary on the PPC site *)
+  (match Vfs.find (Site.vfs site) path with
+  | Some { Vfs.kind = Vfs.Elf bytes; _ } ->
+    Vfs.add (Site.vfs ppc) "/home/user/foreign" (Vfs.Elf bytes)
+  | _ -> Alcotest.fail "no bytes");
+  let env = Fixtures.session_env ppc (List.hd ppc_installs) in
+  match run_with ppc env "/home/user/foreign" with
+  | Exec.Failure (Exec.Wrong_isa _) -> ()
+  | o -> Alcotest.failf "unexpected: %s" (Exec.outcome_to_string o)
+
+let test_exec_i386_on_x86_64 () =
+  Alcotest.(check bool) "i386 compatible" true
+    (Exec.isa_compatible ~binary_machine:Feam_elf.Types.I386
+       ~site_machine:Feam_elf.Types.X86_64);
+  Alcotest.(check bool) "reverse not" false
+    (Exec.isa_compatible ~binary_machine:Feam_elf.Types.X86_64
+       ~site_machine:Feam_elf.Types.I386)
+
+let test_exec_misconfigured_stack () =
+  let site, installs =
+    Fixtures.small_site
+      ~stacks:
+        (Some
+           [
+             ( Fixtures.ompi14 Fixtures.gnu412,
+               Stack_install.Misconfigured "admin broke it" );
+           ])
+      ()
+  in
+  let install = List.hd installs in
+  let path, _ = Fixtures.compiled_binary site installs in
+  let env = Fixtures.session_env site install in
+  match run_with site env path with
+  | Exec.Failure (Exec.Stack_misconfigured _) -> ()
+  | o -> Alcotest.failf "unexpected: %s" (Exec.outcome_to_string o)
+
+let test_exec_foreign_defect () =
+  (* home site: healthy; target: same impl with a defect affecting the
+     home build version *)
+  let home, home_installs = Fixtures.small_site ~name:"home" () in
+  let home_path, _ = Fixtures.compiled_binary home home_installs in
+  let target, target_installs =
+    Fixtures.small_site ~name:"target"
+      ~stacks:
+        (Some
+           [
+             ( Fixtures.ompi14 Fixtures.gnu445,
+               Stack_install.Foreign_binary_defect
+                 {
+                   Stack_install.affected_build_versions = [ v "1.4" ];
+                   symptom = `Floating_point_error;
+                 } );
+           ])
+      ()
+  in
+  (match Vfs.find (Site.vfs home) home_path with
+  | Some { Vfs.kind = Vfs.Elf bytes; _ } ->
+    Vfs.add (Site.vfs target) "/home/user/migrated" (Vfs.Elf bytes)
+  | _ -> Alcotest.fail "no bytes");
+  let env = Fixtures.session_env target (List.hd target_installs) in
+  match run_with target env "/home/user/migrated" with
+  | Exec.Failure (Exec.Floating_point_error _) -> ()
+  | o -> Alcotest.failf "unexpected: %s" (Exec.outcome_to_string o)
+
+let test_exec_serial_mode () =
+  let site, _ = Fixtures.small_site () in
+  let image =
+    Result.get_ok
+      (Feam_toolchain.Compile.compile_serial site
+         Feam_toolchain.Compile.hello_world_serial)
+  in
+  Vfs.add (Site.vfs site) "/home/user/hello" (Vfs.Elf image);
+  match
+    Exec.run ~params:quiet_params site (Site.base_env site)
+      ~binary_path:"/home/user/hello" ~mode:Exec.Serial
+  with
+  | Exec.Success -> ()
+  | o -> Alcotest.failf "unexpected: %s" (Exec.outcome_to_string o)
+
+let test_exec_not_executable () =
+  let site, _ = Fixtures.small_site () in
+  Vfs.add (Site.vfs site) "/home/user/readme" (Vfs.Text "hello");
+  match
+    Exec.run ~params:quiet_params site (Site.base_env site)
+      ~binary_path:"/home/user/readme" ~mode:Exec.Serial
+  with
+  | Exec.Failure (Exec.Not_executable _) -> ()
+  | o -> Alcotest.failf "unexpected: %s" (Exec.outcome_to_string o)
+
+let test_exec_retry_determinism () =
+  let site, _, path, install = compiled () in
+  let env = Fixtures.session_env site install in
+  let a = Exec.run site env ~binary_path:path ~mode:(Exec.Mpi 4) in
+  let b = Exec.run site env ~binary_path:path ~mode:(Exec.Mpi 4) in
+  Alcotest.(check string) "deterministic"
+    (Exec.outcome_to_string a) (Exec.outcome_to_string b)
+
+let suite =
+  ( "dynlinker",
+    [
+      Alcotest.test_case "search order" `Quick test_search_order;
+      Alcotest.test_case "runpath disables rpath" `Quick test_runpath_disables_rpath;
+      Alcotest.test_case "locate precedence" `Quick test_locate_precedence;
+      Alcotest.test_case "resolve closure" `Quick test_resolve_closure;
+      Alcotest.test_case "resolve missing" `Quick test_resolve_missing_without_env;
+      Alcotest.test_case "resolve version failure" `Quick test_resolve_version_failure;
+      Alcotest.test_case "resolve arch mismatch" `Quick test_resolve_arch_mismatch;
+      Alcotest.test_case "ldd output" `Quick test_ldd_output;
+      Alcotest.test_case "ldd not found" `Quick test_ldd_not_found_lines;
+      Alcotest.test_case "ldd foreign binary" `Quick test_ldd_foreign_binary;
+      Alcotest.test_case "ldd unavailable" `Quick test_ldd_unavailable;
+      Alcotest.test_case "exec success" `Quick test_exec_success;
+      Alcotest.test_case "exec no stack" `Quick test_exec_no_stack;
+      Alcotest.test_case "exec wrong ISA" `Quick test_exec_wrong_isa;
+      Alcotest.test_case "exec i386 compat" `Quick test_exec_i386_on_x86_64;
+      Alcotest.test_case "exec misconfigured stack" `Quick test_exec_misconfigured_stack;
+      Alcotest.test_case "exec foreign defect" `Quick test_exec_foreign_defect;
+      Alcotest.test_case "exec serial" `Quick test_exec_serial_mode;
+      Alcotest.test_case "exec not executable" `Quick test_exec_not_executable;
+      Alcotest.test_case "exec retry determinism" `Quick test_exec_retry_determinism;
+    ] )

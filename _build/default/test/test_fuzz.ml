@@ -1,0 +1,111 @@
+(* Fuzz-robustness: byte-level mutations of valid inputs must never
+   crash the parsers — every outcome is [Ok] or a typed [Error], no
+   escaping exception, no hang. *)
+
+let base_image =
+  Feam_elf.Builder.build
+    (Feam_elf.Spec.make ~file_type:Feam_elf.Types.ET_EXEC
+       ~needed:[ "libmpi.so.0"; "libm.so.6"; "libc.so.6" ]
+       ~rpath:"/opt/x/lib"
+       ~verneeds:
+         [
+           {
+             Feam_elf.Spec.vn_file = "libc.so.6";
+             vn_versions = [ "GLIBC_2.2.5"; "GLIBC_2.5" ];
+           };
+         ]
+       ~verdefs:[ "SOME_1.0" ]
+       ~comments:[ "GCC: (GNU) 4.1.2" ]
+       ~abi_note:(2, 6, 18)
+       ~interp:"/lib64/ld-linux-x86-64.so.2" Feam_elf.Types.X86_64)
+
+(* Apply [n] random single-byte mutations, deterministically from a
+   seed. *)
+let mutate seed n (s : string) =
+  let b = Bytes.of_string s in
+  let g = Feam_util.Prng.create seed in
+  for _ = 1 to n do
+    let pos = Feam_util.Prng.int g (Bytes.length b) in
+    Bytes.set b pos (Char.chr (Feam_util.Prng.int g 256))
+  done;
+  Bytes.to_string b
+
+let gen_mutation = QCheck.Gen.(pair (int_range 0 100000) (int_range 1 24))
+
+let prop_elf_reader_total =
+  QCheck.Test.make ~name:"fuzz: ELF reader is total on mutated images"
+    ~count:800
+    (QCheck.make
+       ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+       gen_mutation)
+    (fun (seed, n) ->
+      match Feam_elf.Reader.parse (mutate seed n base_image) with
+      | Ok _ | Error _ -> true)
+
+let prop_elf_reader_truncations =
+  QCheck.Test.make ~name:"fuzz: ELF reader is total on truncations" ~count:200
+    (QCheck.make ~print:string_of_int
+       QCheck.Gen.(int_range 0 (String.length base_image)))
+    (fun len ->
+      match Feam_elf.Reader.parse (String.sub base_image 0 len) with
+      | Ok _ | Error _ -> true)
+
+(* A valid bundle artifact to mutate. *)
+let base_bundle_text =
+  lazy
+    (let site, installs = Fixtures.small_site ~name:"fuzzhome" () in
+     let path, install =
+       Fixtures.compiled_binary ~program:Fixtures.fortran_program site installs
+     in
+     let env = Fixtures.session_env site install in
+     let bundle =
+       Fixtures.run_exn
+         (Feam_core.Phases.source_phase Feam_core.Config.default site env
+            ~binary_path:path)
+     in
+     Feam_core.Bundle_io.render bundle)
+
+let prop_bundle_parser_total =
+  QCheck.Test.make ~name:"fuzz: bundle parser is total on mutated artifacts"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+       gen_mutation)
+    (fun (seed, n) ->
+      let text = Lazy.force base_bundle_text in
+      match Feam_core.Bundle_io.parse (mutate seed n text) with
+      | Ok _ | Error _ -> true)
+
+let prop_json_parser_total =
+  QCheck.Test.make ~name:"fuzz: JSON parser is total on arbitrary strings"
+    ~count:500
+    (QCheck.make ~print:String.escaped
+       QCheck.Gen.(map Bytes.to_string (bytes_size (int_range 0 64))))
+    (fun s ->
+      match Feam_util.Json.parse s with Ok _ | Error _ -> true)
+
+let prop_objdump_parser_total =
+  QCheck.Test.make
+    ~name:"fuzz: objdump parser is total on scrambled tool output" ~count:300
+    (QCheck.make
+       ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+       gen_mutation)
+    (fun (seed, n) ->
+      let text =
+        mutate seed n
+          "x:     file format elf64-x86-64\n\nDynamic Section:\n  NEEDED  \
+           libc.so.6\n\nVersion References:\n  required from libc.so.6:\n    \
+           0x1 0x00 02 GLIBC_2.2.5\n"
+      in
+      match Feam_core.Objdump_parse.parse_objdump_p text with
+      | Ok _ | Error _ -> true)
+
+let suite =
+  ( "fuzz",
+    [
+      QCheck_alcotest.to_alcotest prop_elf_reader_total;
+      QCheck_alcotest.to_alcotest prop_elf_reader_truncations;
+      QCheck_alcotest.to_alcotest prop_bundle_parser_total;
+      QCheck_alcotest.to_alcotest prop_json_parser_total;
+      QCheck_alcotest.to_alcotest prop_objdump_parser_total;
+    ] )

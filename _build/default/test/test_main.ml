@@ -1,0 +1,45 @@
+(* Aggregates every suite into one alcotest runner: `dune runtest`. *)
+
+let () =
+  Alcotest.run "feam"
+    [
+      Test_version.suite;
+      Test_soname.suite;
+      Test_util_misc.suite;
+      Test_elf.suite;
+      Test_vfs.suite;
+      Test_env.suite;
+      Test_mpi.suite;
+      Test_sysmodel.suite;
+      Test_utilities.suite;
+      Test_toolchain.suite;
+      Test_dynlinker.suite;
+      Test_core_components.suite;
+      Test_prediction.suite;
+      Test_resolution_model.suite;
+      Test_interp.suite;
+      Test_bundle_io.suite;
+      Test_advisor_effort.suite;
+      Test_eval.suite;
+      Test_identification.suite;
+      Test_suites.suite;
+      Test_json.suite;
+      Test_ranking.suite;
+      Test_report_golden.suite;
+      Test_cross_isa.suite;
+      Test_diagnose.suite;
+      Test_objdump_realistic.suite;
+      Test_scenario.suite;
+      Test_degraded_tools.suite;
+      Test_properties_extra.suite;
+      Test_stale_cache.suite;
+      Test_exec_taxonomy.suite;
+      Test_sweep.suite;
+      Test_misc_coverage.suite;
+      Test_fuzz.suite;
+      Test_whatif.suite;
+      Test_accounting.suite;
+      Test_static.suite;
+      Test_soundness.suite;
+      Test_ablation.suite;
+    ]

@@ -1,0 +1,118 @@
+(* Additional cross-cutting properties: resolution idempotence, Env
+   path-list laws, corpus-stats consistency. *)
+
+open Feam_sysmodel
+open Feam_core
+
+(* -- resolution idempotence ----------------------------------------------- *)
+
+let test_resolution_idempotent () =
+  (* running the resolution twice over the same missing set stages the
+     same copies at the same paths and succeeds both times *)
+  let home, home_installs = Fixtures.small_site ~name:"idemhome" () in
+  let path, install =
+    Fixtures.compiled_binary ~program:Fixtures.fortran_program home home_installs
+  in
+  let env = Fixtures.session_env home install in
+  let bundle =
+    Fixtures.run_exn
+      (Phases.source_phase Config.default home env ~binary_path:path)
+  in
+  let target, _ = Fixtures.small_site ~name:"idemtarget" ~glibc:"2.12" () in
+  let resolve () =
+    Resolve_model.resolve Config.default target (Site.base_env target) ~bundle
+      ~target_glibc:(Some (Site.glibc target))
+      ~binary_machine:Feam_elf.Types.X86_64 ~binary_class:Feam_elf.Types.C64
+      ~missing:[ "libgfortran.so.1" ]
+  in
+  let a = resolve () in
+  let b = resolve () in
+  Alcotest.(check bool) "same staged" true
+    (a.Resolve_model.staged = b.Resolve_model.staged);
+  Alcotest.(check bool) "same failures" true
+    (List.map fst a.Resolve_model.failed = List.map fst b.Resolve_model.failed)
+
+(* -- Env laws --------------------------------------------------------------- *)
+
+let gen_dirs =
+  QCheck.Gen.(list_size (int_range 0 6) (oneofl [ "/a"; "/b"; "/c"; "/d/e" ]))
+
+let prop_env_prepend_order =
+  QCheck.Test.make ~name:"env: prepended dirs come back in reverse order"
+    ~count:200
+    (QCheck.make ~print:(String.concat ":") gen_dirs)
+    (fun dirs ->
+      let env =
+        List.fold_left
+          (fun e d -> Env.prepend_path e "LD_LIBRARY_PATH" d)
+          Env.empty dirs
+      in
+      Env.ld_library_path env = List.rev dirs)
+
+let prop_env_append_order =
+  QCheck.Test.make ~name:"env: appended dirs come back in order" ~count:200
+    (QCheck.make ~print:(String.concat ":") gen_dirs)
+    (fun dirs ->
+      let env =
+        List.fold_left (fun e d -> Env.append_path e "PATH" d) Env.empty dirs
+      in
+      Env.path env = dirs)
+
+(* -- corpus stats consistency ----------------------------------------------- *)
+
+let test_corpus_stats_consistent () =
+  let params = Feam_evalharness.Params.default in
+  let sites = Feam_evalharness.Sites.build_all params in
+  let benchmarks = Feam_suites.Npb.all in
+  let binaries = Feam_evalharness.Testset.build params sites benchmarks in
+  let rows = Feam_evalharness.Corpus_stats.compute sites binaries in
+  (* row totals match per-site sums and the corpus size *)
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (r.Feam_evalharness.Corpus_stats.benchmark ^ " total")
+        r.Feam_evalharness.Corpus_stats.total
+        (List.fold_left
+           (fun acc (_, n) -> acc + n)
+           0 r.Feam_evalharness.Corpus_stats.per_site))
+    rows;
+  Alcotest.(check int) "grand total" (List.length binaries)
+    (List.fold_left
+       (fun acc r -> acc + r.Feam_evalharness.Corpus_stats.total)
+       0 rows)
+
+(* -- search precedence over staged copies ------------------------------------ *)
+
+let test_staged_copy_shadows_system_lib () =
+  (* a staged copy prepended on LD_LIBRARY_PATH wins over a same-named
+     system library, per ld.so precedence *)
+  let site, _ = Fixtures.small_site ~name:"shadow" () in
+  let vfs = Site.vfs site in
+  let lib name =
+    Feam_elf.Builder.build
+      (Feam_elf.Spec.make ~file_type:Feam_elf.Types.ET_DYN ~soname:name
+         Feam_elf.Types.X86_64)
+  in
+  Vfs.add vfs "/lib64/libshadow.so.1" (Vfs.Elf (lib "libshadow.so.1"));
+  Vfs.add vfs "/tmp/staged/libshadow.so.1" (Vfs.Elf (lib "libshadow.so.1"));
+  let env = Env.prepend_path (Site.base_env site) "LD_LIBRARY_PATH" "/tmp/staged" in
+  let spec =
+    Feam_elf.Spec.make ~needed:[ "libshadow.so.1" ] Feam_elf.Types.X86_64
+  in
+  let r = Feam_dynlinker.Resolve.run site env spec in
+  match r.Feam_dynlinker.Resolve.resolved with
+  | [ lib ] ->
+    Alcotest.(check string) "staged wins" "/tmp/staged/libshadow.so.1"
+      lib.Feam_dynlinker.Resolve.lib_path
+  | _ -> Alcotest.fail "unexpected resolution"
+
+let suite =
+  ( "properties-extra",
+    [
+      Alcotest.test_case "resolution idempotent" `Quick test_resolution_idempotent;
+      QCheck_alcotest.to_alcotest prop_env_prepend_order;
+      QCheck_alcotest.to_alcotest prop_env_append_order;
+      Alcotest.test_case "corpus stats consistent" `Slow test_corpus_stats_consistent;
+      Alcotest.test_case "staged copy shadows system lib" `Quick
+        test_staged_copy_shadows_system_lib;
+    ] )

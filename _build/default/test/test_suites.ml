@@ -1,0 +1,117 @@
+(* Tests for the benchmark-suite models: NPB classes, process-count
+   rules, and the workload generator's compile behaviour. *)
+
+open Feam_suites
+
+let test_npb_class_names () =
+  let bt_b = Npb_class.apply Npb_class.B Npb.bt in
+  Alcotest.(check string) "renamed" "bt.B" bt_b.Benchmark.bench_name;
+  Alcotest.(check bool) "bigger binary" true
+    (bt_b.Benchmark.binary_size_mb > Npb.bt.Benchmark.binary_size_mb);
+  let bt_s = Npb_class.apply Npb_class.S Npb.bt in
+  Alcotest.(check string) "S class" "bt.S" bt_s.Benchmark.bench_name;
+  Alcotest.(check bool) "smaller binary" true
+    (bt_s.Benchmark.binary_size_mb < Npb.bt.Benchmark.binary_size_mb)
+
+let test_npb_class_letters () =
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) (Npb_class.letter cls) true
+        (Npb_class.of_letter (Npb_class.letter cls) = Some cls))
+    Npb_class.all
+
+let test_npb_class_sizes_monotone () =
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "monotone" true
+        (Npb_class.size_factor a < Npb_class.size_factor b);
+      check rest
+    | _ -> ()
+  in
+  check Npb_class.all;
+  Alcotest.(check (float 1e-9)) "class A is the unit" 1.0
+    (Npb_class.size_factor Npb_class.A);
+  Alcotest.(check (float 1e-9)) "memory scales" 400.0
+    (Npb_class.memory_mb ~base_mb:100.0 Npb_class.B)
+
+let test_spectrum () =
+  let specs = Npb_class.spectrum Npb.lu in
+  Alcotest.(check int) "five classes" 5 (List.length specs);
+  Alcotest.(check (list string)) "names"
+    [ "lu.S"; "lu.W"; "lu.A"; "lu.B"; "lu.C" ]
+    (List.map (fun b -> b.Benchmark.bench_name) specs)
+
+let test_np_rules () =
+  Alcotest.(check bool) "bt square" true (Npb.bt.Benchmark.np_rule = `Square);
+  Alcotest.(check bool) "sp square" true (Npb.sp.Benchmark.np_rule = `Square);
+  Alcotest.(check bool) "is pow2" true (Npb.is.Benchmark.np_rule = `Power_of_two);
+  Alcotest.(check bool) "spec any" true
+    (List.for_all (fun b -> b.Benchmark.np_rule = `Any) Specmpi.all)
+
+let test_np_rule_enforced () =
+  (* a BT binary launched with np = 6 (not a square) aborts at startup *)
+  let site, installs = Fixtures.small_site () in
+  let install = List.hd installs in
+  let program = Benchmark.to_program ~site Npb.bt in
+  let path =
+    Result.get_ok
+      (Feam_toolchain.Compile.compile_mpi_to site install program
+         ~dir:"/home/user/apps")
+  in
+  let env = Fixtures.session_env site install in
+  (match
+     Feam_dynlinker.Exec.run ~params:Feam_sysmodel.Fault_model.none site env
+       ~binary_path:path ~mode:(Feam_dynlinker.Exec.Mpi 6)
+   with
+  | Feam_dynlinker.Exec.Failure (Feam_dynlinker.Exec.Invalid_process_count f) ->
+    Alcotest.(check int) "np recorded" 6 f.np
+  | o -> Alcotest.failf "unexpected: %s" (Feam_dynlinker.Exec.outcome_to_string o));
+  (* and np = 4 (a square) is fine *)
+  match
+    Feam_dynlinker.Exec.run ~params:Feam_sysmodel.Fault_model.none site env
+      ~binary_path:path ~mode:(Feam_dynlinker.Exec.Mpi 4)
+  with
+  | Feam_dynlinker.Exec.Success -> ()
+  | o -> Alcotest.failf "unexpected: %s" (Feam_dynlinker.Exec.outcome_to_string o)
+
+let test_compiler_exclusions () =
+  (* 115.fds4 never builds with PGI *)
+  let pgi_stack =
+    Feam_mpi.Stack.make ~impl:Feam_mpi.Impl.Open_mpi
+      ~impl_version:(Feam_util.Version.of_string_exn "1.4")
+      ~compiler:(Feam_mpi.Compiler.make Feam_mpi.Compiler.Pgi
+                   (Feam_util.Version.of_string_exn "10.9"))
+      ~interconnect:Feam_mpi.Interconnect.Ethernet
+  in
+  Alcotest.(check bool) "fds4 rejects pgi" false
+    (Benchmark.compiles_with Specmpi.fds4 pgi_stack ~fragility_draw:false);
+  Alcotest.(check bool) "fds4 accepts gnu" true
+    (Benchmark.compiles_with Specmpi.fds4
+       (Fixtures.ompi14 Fixtures.gnu412)
+       ~fragility_draw:false);
+  Alcotest.(check bool) "fragility draw kills" false
+    (Benchmark.compiles_with Specmpi.fds4
+       (Fixtures.ompi14 Fixtures.gnu412)
+       ~fragility_draw:true)
+
+let test_lib_families_resolve_per_site () =
+  (* lammps links the site generation's FFTW soname *)
+  let old_site, _ = Fixtures.small_site ~name:"oldgen" () in
+  let program = Benchmark.to_program ~site:old_site Specmpi.lammps in
+  let libs =
+    List.map Feam_util.Soname.to_string program.Feam_toolchain.Compile.extra_libs
+  in
+  Alcotest.(check bool) "old gen fftw2" true (List.mem "libfftw.so.2" libs)
+
+let suite =
+  ( "suites",
+    [
+      Alcotest.test_case "npb class names" `Quick test_npb_class_names;
+      Alcotest.test_case "npb class letters" `Quick test_npb_class_letters;
+      Alcotest.test_case "npb class sizes" `Quick test_npb_class_sizes_monotone;
+      Alcotest.test_case "npb spectrum" `Quick test_spectrum;
+      Alcotest.test_case "np rules assigned" `Quick test_np_rules;
+      Alcotest.test_case "np rule enforced" `Quick test_np_rule_enforced;
+      Alcotest.test_case "compiler exclusions" `Quick test_compiler_exclusions;
+      Alcotest.test_case "lib families per site" `Quick test_lib_families_resolve_per_site;
+    ] )

@@ -1,0 +1,149 @@
+(* Tests for the remaining Feam_util modules: Prng, Table, Sim_clock. *)
+
+open Feam_util
+
+(* -- Prng ---------------------------------------------------------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.int a 1000000 = Prng.int b 1000000 then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_copy () =
+  let a = Prng.create 9 in
+  ignore (Prng.int a 10);
+  let b = Prng.copy a in
+  Alcotest.(check int) "copy continues identically" (Prng.int a 1000) (Prng.int b 1000)
+
+let test_keyed_bool_deterministic () =
+  let x = Prng.keyed_bool ~seed:5 ~p:0.5 "some/key" in
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "stable" x (Prng.keyed_bool ~seed:5 ~p:0.5 "some/key")
+  done
+
+let test_keyed_bool_rate () =
+  let hits = ref 0 in
+  let n = 5000 in
+  for i = 1 to n do
+    if Prng.keyed_bool ~seed:3 ~p:0.2 (string_of_int i) then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.3f near 0.2" rate)
+    true
+    (rate > 0.17 && rate < 0.23)
+
+let test_prng_bounds () =
+  let g = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7);
+    let f = Prng.float g in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_invalid () =
+  let g = Prng.create 1 in
+  Alcotest.check_raises "bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0));
+  Alcotest.check_raises "probability"
+    (Invalid_argument "Prng.bool: probability out of range") (fun () ->
+      ignore (Prng.bool g 1.5))
+
+let test_pick () =
+  let g = Prng.create 4 in
+  for _ = 1 to 50 do
+    let x = Prng.pick g [ 1; 2; 3 ] in
+    Alcotest.(check bool) "member" true (List.mem x [ 1; 2; 3 ])
+  done
+
+(* -- Table --------------------------------------------------------------- *)
+
+let test_table_render () =
+  let t =
+    Table.make ~title:"T" ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let out = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length out > 0 && out.[0] = 'T');
+  Alcotest.(check bool) "contains cell" true
+    (Feam_sysmodel.Str_split.contains ~sub:"333" out);
+  (* all lines of the body share a width *)
+  let widths =
+    String.split_on_char '\n' out
+    |> List.filter (fun l -> String.length l > 0 && l.[0] = '+')
+    |> List.map String.length
+  in
+  Alcotest.(check bool) "rules align" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_validation () =
+  Alcotest.check_raises "row width"
+    (Invalid_argument "Table.make: row width does not match header") (fun () ->
+      ignore (Table.make ~header:[ "a" ] [ [ "1"; "2" ] ]))
+
+let test_percent () =
+  Alcotest.(check string) "round" "58%" (Table.percent 58 100);
+  Alcotest.(check string) "n/a" "n/a" (Table.percent 3 0);
+  Alcotest.(check string) "decimals" "33.3%" (Table.percent ~decimals:1 1 3)
+
+(* -- Sim_clock ------------------------------------------------------------ *)
+
+let test_clock () =
+  let c = Sim_clock.create () in
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (Sim_clock.elapsed c);
+  Sim_clock.charge c 12.5;
+  Sim_clock.charge c 7.5;
+  Alcotest.(check (float 1e-9)) "sum" 20.0 (Sim_clock.elapsed c);
+  Sim_clock.reset c;
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (Sim_clock.elapsed c);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Sim_clock.charge: negative duration") (fun () ->
+      Sim_clock.charge c (-1.0))
+
+let test_clock_render () =
+  let c = Sim_clock.create () in
+  Sim_clock.charge c 125.0;
+  Alcotest.(check string) "minutes" "2m05s" (Sim_clock.to_string c);
+  let d = Sim_clock.create () in
+  Sim_clock.charge d 3.25;
+  Alcotest.(check string) "seconds" "3.2s" (Sim_clock.to_string d)
+
+(* -- Str_split ------------------------------------------------------------ *)
+
+let test_str_split () =
+  Alcotest.(check (list string)) "split" [ "a"; "b"; "c" ]
+    (Feam_sysmodel.Str_split.split_on_string ~sep:"--" "a--b--c");
+  Alcotest.(check (list string)) "no sep" [ "abc" ]
+    (Feam_sysmodel.Str_split.split_on_string ~sep:"--" "abc");
+  Alcotest.(check bool) "contains" true
+    (Feam_sysmodel.Str_split.contains ~sub:"orl" "world");
+  Alcotest.(check bool) "not contains" false
+    (Feam_sysmodel.Str_split.contains ~sub:"xyz" "world")
+
+let suite =
+  ( "util-misc",
+    [
+      Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+      Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+      Alcotest.test_case "prng copy" `Quick test_prng_copy;
+      Alcotest.test_case "keyed bool deterministic" `Quick test_keyed_bool_deterministic;
+      Alcotest.test_case "keyed bool rate" `Quick test_keyed_bool_rate;
+      Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+      Alcotest.test_case "prng validation" `Quick test_prng_invalid;
+      Alcotest.test_case "pick" `Quick test_pick;
+      Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "table validation" `Quick test_table_validation;
+      Alcotest.test_case "percent" `Quick test_percent;
+      Alcotest.test_case "sim clock" `Quick test_clock;
+      Alcotest.test_case "sim clock render" `Quick test_clock_render;
+      Alcotest.test_case "str split" `Quick test_str_split;
+    ] )
