@@ -227,7 +227,8 @@ let cmd_discover debug scenario_name site =
   let d = Feam_core.Edc.discover ~env_type:`Target site (Site.base_env site) in
   Fmt.pr "%a@." Feam_core.Discovery.pp d
 
-let cmd_predict debug scenario_name from_site to_site binary basic_only json =
+let cmd_predict debug scenario_name from_site to_site binary basic_only json
+    lint =
   setup_logs debug;
   let scenario = load_scenario scenario_name in
   let home =
@@ -257,6 +258,7 @@ let cmd_predict debug scenario_name from_site to_site binary basic_only json =
   in
   Vfs.remove_tree (Site.vfs target) "/tmp/feam";
   let clock = Sim_clock.create () in
+  let linted_bundle = ref None in
   let result =
     if basic_only then begin
       (* stage the binary by hand, target phase only *)
@@ -277,6 +279,7 @@ let cmd_predict debug scenario_name from_site to_site binary basic_only json =
       with
       | Error e -> Error e
       | Ok bundle ->
+        linted_bundle := Some bundle;
         Fmt.pr "source phase at %s: bundle %.1f MB, %d copies, %d probes@.@."
           (Site.name home)
           (float_of_int (Feam_core.Bundle.total_bytes bundle) /. 1048576.0)
@@ -287,6 +290,18 @@ let cmd_predict debug scenario_name from_site to_site binary basic_only json =
   in
   match result with
   | Ok report ->
+    (* the static-analysis layer feeding predict: findings ride the report *)
+    let report =
+      match (lint, !linted_bundle) with
+      | true, Some bundle ->
+        let ctx =
+          Feam_analysis.Context.of_bundle
+            ~target:(Feam_analysis.Context.target_of_site target) bundle
+        in
+        Feam_core.Report.with_findings report
+          (Feam_analysis.Engine.run ctx)
+      | _ -> report
+    in
     if json then
       print_endline (Feam_util.Json.render (Feam_core.Report.to_json report))
     else begin
@@ -296,6 +311,87 @@ let cmd_predict debug scenario_name from_site to_site binary basic_only json =
   | Error e ->
     Fmt.epr "prediction failed: %s@." e;
     exit 1
+
+(* -- Static analysis: `feam lint` -------------------------------------------- *)
+
+(* Build the bundle to lint: a serialized artifact when FILE is given,
+   otherwise the source phase run in-process over a scenario site. *)
+let lint_bundle scenario_name site binary = function
+  | Some file ->
+    let text =
+      if file = "-" then In_channel.input_all In_channel.stdin
+      else In_channel.with_open_text file In_channel.input_all
+    in
+    (match Feam_core.Bundle_io.parse text with
+    | Ok bundle -> bundle
+    | Error e -> failwith (Printf.sprintf "cannot parse bundle %s: %s" file e))
+  | None ->
+    let scenario = load_scenario scenario_name in
+    let site = require_site scenario site in
+    let path, install =
+      match binary with
+      | Some p -> (p, None)
+      | None ->
+        let p, i = sample_binary scenario site in
+        (p, i)
+    in
+    let env =
+      match install with
+      | Some i -> Modules_tool.load_stack (Site.base_env site) i
+      | None -> Site.base_env site
+    in
+    (match
+       Feam_core.Phases.source_phase Feam_core.Config.default site env
+         ~binary_path:path
+     with
+    | Ok bundle -> bundle
+    | Error e -> failwith (Printf.sprintf "source phase failed: %s" e))
+
+let lint_target scenario_name target_site target_glibc =
+  match (target_site, target_glibc) with
+  | Some name, _ ->
+    let scenario = load_scenario scenario_name in
+    Some (Feam_analysis.Context.target_of_site (find_site scenario name))
+  | None, Some v -> (
+    match Version.of_string v with
+    | Some glibc -> Some (Feam_analysis.Context.make_target ~glibc ())
+    | None -> failwith (Printf.sprintf "bad --target-glibc version %S" v))
+  | None, None -> None
+
+let cmd_lint debug scenario_name site binary bundle_file target_site
+    target_glibc json list_rules fail_on =
+  setup_logs debug;
+  if list_rules then begin
+    let rows =
+      List.map
+        (fun r ->
+          [
+            r.Feam_analysis.Rule.id;
+            Feam_core.Diagnose.level_to_string r.Feam_analysis.Rule.default_level;
+            r.Feam_analysis.Rule.title;
+          ])
+        (Feam_analysis.Registry.all ())
+    in
+    Table.print
+      (Table.make ~title:"feam lint rules" ~header:[ "Rule"; "Level"; "Checks" ] rows)
+  end
+  else begin
+    let bundle = lint_bundle scenario_name site binary bundle_file in
+    let target = lint_target scenario_name target_site target_glibc in
+    let ctx = Feam_analysis.Context.of_bundle ?target bundle in
+    let findings = Feam_analysis.Engine.run ctx in
+    if json then
+      print_endline (Json.render (Feam_analysis.Engine.to_json ctx findings))
+    else print_string (Feam_analysis.Engine.render_text ctx findings);
+    let code = Feam_analysis.Engine.exit_code findings in
+    let gated =
+      match fail_on with
+      | "never" -> 0
+      | "error" -> if code = 2 then 2 else 0
+      | _ -> code
+    in
+    exit gated
+  end
 
 let cmd_bundle debug scenario_name site binary out =
   setup_logs debug;
@@ -483,13 +579,70 @@ let basic_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
 
+let predict_lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:"Run the static-analysis pass over the source-phase bundle and \
+              attach its findings to the report.")
+
 let predict_cmd =
   Cmd.v
     (Cmd.info "predict"
        ~doc:"Predict execution readiness of a binary at a target site")
     Term.(
       const cmd_predict $ debug_arg $ scenario_arg $ from_arg $ to_arg
-      $ binary_arg $ basic_arg $ json_arg)
+      $ binary_arg $ basic_arg $ json_arg $ predict_lint_arg)
+
+let lint_bundle_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"BUNDLE"
+        ~doc:"Bundle artifact to lint ('-' for stdin).  When omitted, the \
+              source phase runs in-process over --scenario/--site.")
+
+let lint_target_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "target" ] ~docv:"SITE"
+        ~doc:"Check the bundle against this scenario site's machine and C \
+              library.")
+
+let lint_target_glibc_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "target-glibc" ] ~docv:"VERSION"
+        ~doc:"Check C-library version bindings against this glibc version \
+              (alternative to --target).")
+
+let lint_list_rules_arg =
+  Arg.(
+    value & flag
+    & info [ "list-rules" ] ~doc:"List the registered rules and exit.")
+
+let lint_fail_on_arg =
+  Arg.(
+    value
+    & opt (enum [ ("warn", "warn"); ("error", "error"); ("never", "never") ])
+        "warn"
+    & info [ "fail-on" ] ~docv:"LEVEL"
+        ~doc:"Exit-code gate: 'warn' (default; 2 on errors, 1 on warnings), \
+              'error' (2 on errors only), or 'never' (report only).")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static-analysis rules over a bundle: per-symbol glibc \
+             bindings, soname conflicts, dependency-graph anomalies, loader \
+             and RPATH hazards, bundle staleness.  Exits 0 clean / 1 \
+             warnings / 2 errors.")
+    Term.(
+      const cmd_lint $ debug_arg $ scenario_arg $ site_arg $ binary_arg
+      $ lint_bundle_arg $ lint_target_arg $ lint_target_glibc_arg $ json_arg
+      $ lint_list_rules_arg $ lint_fail_on_arg)
 
 let config_file_arg =
   Arg.(
@@ -540,7 +693,8 @@ let main =
   Cmd.group
     (Cmd.info "feam" ~version:"1.0.0"
        ~doc:"Framework for Efficient Application Migration (simulated sites)")
-    [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; config_check_cmd;
-      bundle_cmd; inspect_bundle_cmd; advise_cmd; rank_cmd; scenario_template_cmd ]
+    [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; lint_cmd;
+      config_check_cmd; bundle_cmd; inspect_bundle_cmd; advise_cmd; rank_cmd;
+      scenario_template_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,108 @@
+(* Runs a rule set over a context and renders the results. *)
+
+open Feam_core
+
+let run ?rules ctx =
+  let rules = match rules with Some r -> r | None -> Registry.all () in
+  rules
+  |> List.concat_map (fun r -> r.Rule.check ctx)
+  |> List.stable_sort Diagnose.compare_finding
+
+let count level findings =
+  List.length
+    (List.filter (fun (f : Diagnose.finding) -> f.Diagnose.level = level) findings)
+
+let errors findings = count Diagnose.Error findings
+let warnings findings = count Diagnose.Warn findings
+let infos findings = count Diagnose.Info findings
+
+let worst findings =
+  List.fold_left
+    (fun acc (f : Diagnose.finding) ->
+      match acc with
+      | None -> Some f.Diagnose.level
+      | Some l ->
+        if Diagnose.level_rank f.Diagnose.level < Diagnose.level_rank l then
+          Some f.Diagnose.level
+        else acc)
+    None findings
+
+let exit_code findings =
+  match worst findings with
+  | Some Diagnose.Error -> 2
+  | Some Diagnose.Warn -> 1
+  | Some Diagnose.Info | None -> 0
+
+let plural n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s")
+
+let summary findings =
+  Printf.sprintf "%s, %s, %d info"
+    (plural (errors findings) "error")
+    (plural (warnings findings) "warning")
+    (infos findings)
+
+let subject_line (ctx : Context.t) =
+  let bundle = ctx.Context.bundle in
+  let target =
+    match ctx.Context.target with
+    | Some { Context.target_name = Some n; _ } -> Printf.sprintf " -> %s" n
+    | _ -> ""
+  in
+  Printf.sprintf "%s (bundled at %s, %d copies, %d probes)%s"
+    bundle.Bundle.binary_description.Description.path bundle.Bundle.created_at
+    (List.length bundle.Bundle.copies)
+    (List.length bundle.Bundle.probes)
+    target
+
+let render_text ctx findings =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "feam lint: %s\n" (subject_line ctx);
+  List.iter
+    (fun (f : Diagnose.finding) ->
+      addf "%-5s %-21s %s: %s\n"
+        (Diagnose.level_to_string f.Diagnose.level)
+        f.Diagnose.rule_id f.Diagnose.subject f.Diagnose.message;
+      match f.Diagnose.fixit with
+      | Some fix -> addf "      fix: %s\n" fix
+      | None -> ())
+    findings;
+  addf "%s\n" (summary findings);
+  Buffer.contents buf
+
+let to_json ctx findings =
+  let open Feam_util.Json in
+  let bundle = ctx.Context.bundle in
+  let target_json =
+    match ctx.Context.target with
+    | None -> Null
+    | Some t ->
+      Obj
+        [
+          ( "site",
+            match t.Context.target_name with Some n -> Str n | None -> Null );
+          ( "machine",
+            match t.Context.target_machine with
+            | Some m -> Str (Feam_elf.Types.machine_uname m)
+            | None -> Null );
+          ( "glibc",
+            match t.Context.target_glibc with
+            | Some v -> Str (Feam_util.Version.to_string v)
+            | None -> Null );
+        ]
+  in
+  Obj
+    [
+      ("binary", Str bundle.Bundle.binary_description.Description.path);
+      ("bundled_at", Str bundle.Bundle.created_at);
+      ("target", target_json);
+      ("findings", List (List.map Report.finding_to_json findings));
+      ( "summary",
+        Obj
+          [
+            ("errors", Int (errors findings));
+            ("warnings", Int (warnings findings));
+            ("infos", Int (infos findings));
+            ("exit_code", Int (exit_code findings));
+          ] );
+    ]

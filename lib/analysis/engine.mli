@@ -1,0 +1,27 @@
+(** Runs a rule set over a context and renders the results — the
+    library face of [feam lint].  Findings come back severe-first in a
+    stable order; text, JSON and exit-code views are all derived from
+    the same list, so the CLI gate and the prediction pipeline agree. *)
+
+(** Run [rules] (default: every registered rule) over a context.
+    Findings are sorted severe-first, then by rule id and subject. *)
+val run : ?rules:Rule.t list -> Context.t -> Feam_core.Diagnose.finding list
+
+val errors : Feam_core.Diagnose.finding list -> int
+val warnings : Feam_core.Diagnose.finding list -> int
+val infos : Feam_core.Diagnose.finding list -> int
+
+(** The most severe level present. *)
+val worst : Feam_core.Diagnose.finding list -> Feam_core.Diagnose.level option
+
+(** The CI-gate contract: 0 clean (infos allowed), 1 warnings, 2 errors. *)
+val exit_code : Feam_core.Diagnose.finding list -> int
+
+(** One-line tally, e.g. "2 errors, 1 warning, 0 info". *)
+val summary : Feam_core.Diagnose.finding list -> string
+
+(** Human-readable lint report. *)
+val render_text : Context.t -> Feam_core.Diagnose.finding list -> string
+
+(** Machine-readable lint report; parses back with {!Feam_util.Json}. *)
+val to_json : Context.t -> Feam_core.Diagnose.finding list -> Feam_util.Json.t

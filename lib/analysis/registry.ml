@@ -1,0 +1,32 @@
+(* The pluggable rule registry.  Built-in rules are referenced
+   explicitly (module initializers alone would never be linked), so the
+   set is deterministic and self-documenting. *)
+
+let rules : (string, Rule.t) Hashtbl.t = Hashtbl.create 16
+
+let register (r : Rule.t) =
+  if Hashtbl.mem rules r.Rule.id then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate rule id %S" r.Rule.id)
+  else Hashtbl.replace rules r.Rule.id r
+
+let find id = Hashtbl.find_opt rules id
+
+let all () =
+  Hashtbl.fold (fun _ r acc -> r :: acc) rules []
+  |> List.sort (fun a b -> String.compare a.Rule.id b.Rule.id)
+
+let ids () = List.map (fun r -> r.Rule.id) (all ())
+
+let () =
+  List.iter register
+    [
+      Rule_glibc_verneed.rule;
+      Rule_soname_major.rule;
+      Rule_dep_cycle.rule;
+      Rule_isa_closure.rule;
+      Rule_interp.rule;
+      Rule_rpath.rule;
+      Rule_stale.rule;
+      Rule_missing.rule;
+      Rule_soname_parse.rule;
+    ]

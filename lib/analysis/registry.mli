@@ -1,0 +1,14 @@
+(** The pluggable rule registry.  The built-in rule set registers itself
+    at load time; downstream code can add its own rules with {!register}
+    or run a curated subset via {!Engine.run}'s [?rules]. *)
+
+(** @raise Invalid_argument on a duplicate rule id. *)
+val register : Rule.t -> unit
+
+val find : string -> Rule.t option
+
+(** All registered rules, sorted by id. *)
+val all : unit -> Rule.t list
+
+(** Rule ids, sorted. *)
+val ids : unit -> string list

@@ -1,0 +1,17 @@
+(* One pluggable static-analysis rule. *)
+
+type t = {
+  id : string;
+  title : string;
+  default_level : Feam_core.Diagnose.level;
+  check : Context.t -> Feam_core.Diagnose.finding list;
+}
+
+let finding rule ?level ?fixit ~subject message =
+  {
+    Feam_core.Diagnose.rule_id = rule.id;
+    level = Option.value level ~default:rule.default_level;
+    subject;
+    message;
+    fixit;
+  }

@@ -1,0 +1,21 @@
+(** One pluggable static-analysis rule: an identifier, a one-line
+    description for rule tables, the severity class it usually reports
+    at, and the check itself.  Rules are pure functions of the
+    {!Context.t}; they never mutate the bundle or the sites. *)
+
+type t = {
+  id : string;  (** stable kebab-case identifier, e.g. "isa-mismatch" *)
+  title : string;  (** one line, for [feam lint --rules] and the README *)
+  default_level : Feam_core.Diagnose.level;
+  check : Context.t -> Feam_core.Diagnose.finding list;
+}
+
+(** Build a finding attributed to a rule, at the rule's default level
+    unless overridden. *)
+val finding :
+  t ->
+  ?level:Feam_core.Diagnose.level ->
+  ?fixit:string ->
+  subject:string ->
+  string ->
+  Feam_core.Diagnose.finding

@@ -1,0 +1,66 @@
+(* Cycles in the bundled dependency graph.  ld.so tolerates cycles (it
+   breaks them by load order), but a cycle inside a *bundle* means the
+   staged copies initialize in an order the source site never exercised,
+   and constructor-order bugs surface exactly there. *)
+
+let id = "dep-cycle"
+
+(* Canonical form of a cycle: rotated so the smallest label leads; used
+   to report each distinct cycle once. *)
+let canonical cycle =
+  let smallest = List.fold_left min (List.hd cycle) cycle in
+  let rec rotate = function
+    | x :: rest when x = smallest -> x :: rest
+    | x :: rest -> rotate (rest @ [ x ])
+    | [] -> []
+  in
+  rotate cycle
+
+let find_cycles edges =
+  let succ label =
+    List.filter_map (fun (a, b) -> if a = label then Some b else None) edges
+  in
+  let nodes =
+    List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges)
+  in
+  let seen = Hashtbl.create 8 in
+  let cycles = ref [] in
+  let index_of x l =
+    let rec go i = function
+      | [] -> None
+      | y :: rest -> if y = x then Some i else go (i + 1) rest
+    in
+    go 0 l
+  in
+  let rec dfs path node =
+    match index_of node (List.rev path) with
+    | Some i ->
+      (* drop the lead-in, keep the loop *)
+      let cycle = List.filteri (fun j _ -> j >= i) (List.rev path) in
+      let c = canonical cycle in
+      if not (Hashtbl.mem seen c) then begin
+        Hashtbl.add seen c ();
+        cycles := c :: !cycles
+      end
+    | None -> List.iter (dfs (node :: path)) (succ node)
+  in
+  List.iter (dfs []) nodes;
+  List.rev !cycles
+
+let check rule (ctx : Context.t) =
+  find_cycles (Context.dependency_edges ctx)
+  |> List.map (fun cycle ->
+         let path = String.concat " -> " (cycle @ [ List.hd cycle ]) in
+         Rule.finding rule ~subject:(List.hd cycle)
+           (Printf.sprintf
+              "dependency cycle %s: the staged copies will initialize in \
+               an order the source site never exercised"
+              path))
+
+let rec rule =
+  {
+    Rule.id;
+    title = "cycles in the bundled dependency graph";
+    default_level = Feam_core.Diagnose.Warn;
+    check = (fun ctx -> check rule ctx);
+  }

@@ -1,0 +1,88 @@
+(* Per-symbol C-library version bindings, checked object by object over
+   the whole closure.  Sharper than the prediction model's max-version
+   determinant (§III.C): every GLIBC_x binding of every object is vetted
+   individually, so the report names the exact symbol version, the
+   supplying file and the requiring object — and it also catches version
+   strings that are not any known glibc release. *)
+
+open Feam_util
+open Feam_core
+
+let id = "glibc-verneed"
+
+let known_release v =
+  List.exists (Version.equal v) Feam_toolchain.Glibc.release_history
+
+let check_symbol rule ~target_glibc ~obj_label ~vn_file symbol =
+  match Feam_toolchain.Glibc.version_of_symbol symbol with
+  | None ->
+    if symbol = "GLIBC_PRIVATE" then
+      [
+        Rule.finding rule ~subject:obj_label
+          ~fixit:
+            "rebuild the object against a public C-library interface; \
+             GLIBC_PRIVATE only resolves within the exact glibc build \
+             that produced it"
+          (Printf.sprintf "binds GLIBC_PRIVATE symbols from %s" vn_file);
+      ]
+    else
+      [
+        Rule.finding rule ~subject:obj_label
+          (Printf.sprintf "unrecognized C-library symbol version %S from %s"
+             symbol vn_file);
+      ]
+  | Some v ->
+    let unknown =
+      if known_release v then []
+      else
+        [
+          Rule.finding rule ~subject:obj_label
+            (Printf.sprintf
+               "%s from %s is not a known glibc release; the binding can \
+                never be satisfied by a stock C library"
+               symbol vn_file);
+        ]
+    in
+    let too_new =
+      match target_glibc with
+      | Some tg when Version.(v > tg) ->
+        [
+          Rule.finding rule ~level:Diagnose.Error ~subject:obj_label
+            ~fixit:
+              (Printf.sprintf
+                 "rebuild on a system with glibc <= %s, or migrate to a \
+                  site providing glibc >= %s"
+                 (Version.to_string tg) (Version.to_string v))
+            (Printf.sprintf
+               "requires symbol version %s from %s but the target provides \
+                glibc %s"
+               symbol vn_file (Version.to_string tg));
+        ]
+      | _ -> []
+    in
+    unknown @ too_new
+
+let check rule (ctx : Context.t) =
+  let target_glibc =
+    Option.bind ctx.Context.target (fun t -> t.Context.target_glibc)
+  in
+  Context.described ctx
+  |> List.concat_map (fun (o, d) ->
+         d.Description.verneeds
+         |> List.concat_map (fun (vn_file, versions) ->
+                if Bdc.is_c_library vn_file then
+                  List.concat_map
+                    (check_symbol rule ~target_glibc
+                       ~obj_label:o.Context.obj_label ~vn_file)
+                    versions
+                else []))
+
+let rec rule =
+  {
+    Rule.id;
+    title =
+      "per-symbol glibc version bindings vs. the target C library, over \
+       the whole closure";
+    default_level = Feam_core.Diagnose.Warn;
+    check = (fun ctx -> check rule ctx);
+  }

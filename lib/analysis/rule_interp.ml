@@ -1,0 +1,53 @@
+(* PT_INTERP sanity: an executable whose requested dynamic loader is not
+   the conventional one for its machine only runs where that exact
+   loader path exists — a silent portability trap (32-bit x86 binaries
+   on x86-64 sites being the era's classic).  A dynamically linked
+   executable with no PT_INTERP at all cannot start anywhere. *)
+
+let id = "interp-mismatch"
+
+let check_spec rule ~label (spec : Feam_elf.Spec.t) =
+  if spec.Feam_elf.Spec.file_type <> Feam_elf.Types.ET_EXEC then []
+  else
+    let conventional = Feam_elf.Types.default_interp spec.Feam_elf.Spec.machine in
+    match spec.Feam_elf.Spec.interp with
+    | None ->
+      if spec.Feam_elf.Spec.needed = [] then []
+      else
+        [
+          Rule.finding rule ~level:Feam_core.Diagnose.Error ~subject:label
+            ~fixit:"relink the executable; the static linker normally sets \
+                    PT_INTERP automatically"
+            "dynamically linked executable carries no PT_INTERP: no site \
+             can start it";
+        ]
+    | Some interp when interp <> conventional ->
+      [
+        Rule.finding rule ~subject:label
+          ~fixit:
+            (Printf.sprintf
+               "relink against the standard loader, or ensure %s exists at \
+                every target"
+               interp)
+          (Printf.sprintf
+             "PT_INTERP requests %s but the conventional %s loader is %s"
+             interp
+             (Feam_elf.Types.machine_uname spec.Feam_elf.Spec.machine)
+             conventional);
+      ]
+    | Some _ -> []
+
+let check rule (ctx : Context.t) =
+  ctx.Context.objects
+  |> List.concat_map (fun (o : Context.objekt) ->
+         match o.Context.obj_spec with
+         | Some spec -> check_spec rule ~label:o.Context.obj_label spec
+         | None -> [])
+
+let rec rule =
+  {
+    Rule.id;
+    title = "PT_INTERP missing or unconventional for the machine";
+    default_level = Feam_core.Diagnose.Warn;
+    check = (fun ctx -> check rule ctx);
+  }

@@ -1,0 +1,71 @@
+(* Word-size and machine mismatches anywhere in the closure.  The
+   prediction model's ISA determinant (§III.A) checks the root binary
+   against the site; a bundle can still carry a copy built for another
+   machine or word size, which the loader rejects only at run time. *)
+
+open Feam_core
+
+let id = "isa-mismatch"
+
+let pp_arch machine cls =
+  Printf.sprintf "%s/%s"
+    (Feam_elf.Types.machine_uname machine)
+    (match cls with Feam_elf.Types.C32 -> "32-bit" | Feam_elf.Types.C64 -> "64-bit")
+
+let check rule (ctx : Context.t) =
+  let root_d = ctx.Context.root.Context.obj_description in
+  let root_arch =
+    Option.map
+      (fun (d : Description.t) -> (d.Description.machine, d.Description.elf_class))
+      root_d
+  in
+  let target_machine =
+    Option.bind ctx.Context.target (fun t -> t.Context.target_machine)
+  in
+  let against_root =
+    match root_arch with
+    | None -> []
+    | Some (rm, rc) ->
+      Context.described ctx
+      |> List.filter (fun ((o : Context.objekt), _) ->
+             o.Context.obj_kind <> Context.Root)
+      |> List.concat_map (fun ((o : Context.objekt), (d : Description.t)) ->
+             if d.Description.machine <> rm || d.Description.elf_class <> rc
+             then
+               [
+                 Rule.finding rule ~subject:o.Context.obj_label
+                   ~fixit:
+                     (Printf.sprintf
+                        "replace the copy with a %s build from a matching \
+                         site"
+                        (pp_arch rm rc))
+                   (Printf.sprintf
+                      "bundled copy is %s but the application is %s; the \
+                       loader will reject it"
+                      (pp_arch d.Description.machine d.Description.elf_class)
+                      (pp_arch rm rc));
+               ]
+             else [])
+  in
+  let against_target =
+    match (root_arch, target_machine) with
+    | Some (rm, _), Some tm when rm <> tm ->
+      [
+        Rule.finding rule ~subject:ctx.Context.root.Context.obj_label
+          ~fixit:"recompile from source at the target, or pick a matching site"
+          (Printf.sprintf
+             "application targets %s but the target site is %s hardware"
+             (Feam_elf.Types.machine_uname rm)
+             (Feam_elf.Types.machine_uname tm));
+      ]
+    | _ -> []
+  in
+  against_root @ against_target
+
+let rec rule =
+  {
+    Rule.id;
+    title = "machine or word-size mismatches anywhere in the closure";
+    default_level = Feam_core.Diagnose.Error;
+    check = (fun ctx -> check rule ctx);
+  }

@@ -1,0 +1,57 @@
+(* Missing libraries, cross-checked against what the resolution model
+   (§IV) could actually supply from the bundle: a name recorded as
+   unlocatable that a bundled copy satisfies is stale bookkeeping; a
+   name with no copy at all makes readiness depend entirely on the
+   target site; and a requirement that is neither bundled nor recorded
+   as unlocatable means the source-phase manifest is incomplete. *)
+
+open Feam_core
+
+let id = "unresolved-missing"
+
+let check rule (ctx : Context.t) =
+  let bundle = ctx.Context.bundle in
+  let unlocatable = bundle.Bundle.unlocatable in
+  let from_unlocatable =
+    unlocatable
+    |> List.filter (fun name -> not (Bdc.is_c_library name))
+    |> List.map (fun name ->
+           if Bundle.copies_for bundle name <> [] then
+             Rule.finding rule ~level:Diagnose.Info ~subject:name
+               ~fixit:"re-run the source phase to refresh the bundle manifest"
+               "recorded as unlocatable at the source, yet the bundle \
+                carries a copy that satisfies it"
+           else
+             Rule.finding rule ~subject:name
+               ~fixit:
+                 "obtain a copy from a site where the binary runs and \
+                  re-bundle (FEAM's source phase automates this)"
+               "no bundled copy: execution readiness depends entirely on \
+                the target site providing it")
+  in
+  let uncovered =
+    Context.requirements ctx
+    |> List.filter_map (fun ((o : Context.objekt), name) ->
+           if
+             Bdc.is_c_library name
+             || List.mem name unlocatable
+             || Context.provider ctx name <> None
+           then None
+           else
+             Some
+               (Rule.finding rule ~subject:name
+                  ~fixit:"re-run the source phase to complete the closure"
+                  (Printf.sprintf
+                     "required by %s but neither bundled nor recorded as \
+                      unlocatable: the source-phase manifest is incomplete"
+                     o.Context.obj_label)))
+  in
+  from_unlocatable @ uncovered
+
+let rec rule =
+  {
+    Rule.id;
+    title = "missing libraries vs. what the bundle can actually resolve";
+    default_level = Feam_core.Diagnose.Warn;
+    check = (fun ctx -> check rule ctx);
+  }

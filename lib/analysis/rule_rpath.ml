@@ -1,0 +1,66 @@
+(* RPATH/RUNPATH hazards.  The staged copies of the resolution model are
+   exposed through LD_LIBRARY_PATH; DT_RPATH (without a DT_RUNPATH)
+   *precedes* LD_LIBRARY_PATH in ld.so's search order, so a source-site
+   path baked into RPATH can shadow the staged copies at the target with
+   whatever happens to live at that path.  Relative entries are worse:
+   they resolve against the working directory of the eventual run. *)
+
+let id = "rpath-escape"
+
+let entries = function
+  | None -> []
+  | Some s -> String.split_on_char ':' s
+
+let check_one rule ~has_copies ~label ~tag ~shadows_staging path_entries =
+  path_entries
+  |> List.concat_map (fun entry ->
+         if entry = "" then
+           [
+             Rule.finding rule ~subject:label
+               ~fixit:(Printf.sprintf "relink without the empty %s entry" tag)
+               (Printf.sprintf
+                  "empty %s entry resolves to the working directory of the \
+                   run" tag);
+           ]
+         else if not (String.length entry > 0 && entry.[0] = '/') then
+           if String.starts_with ~prefix:"$ORIGIN" entry then []
+           else
+             [
+               Rule.finding rule ~level:Feam_core.Diagnose.Error ~subject:label
+                 ~fixit:(Printf.sprintf "relink with an absolute %s" tag)
+                 (Printf.sprintf
+                    "relative %s entry %S resolves against the working \
+                     directory at the target" tag entry);
+             ]
+         else if shadows_staging && has_copies then
+           [
+             Rule.finding rule ~subject:label
+               ~fixit:
+                 "relink with DT_RUNPATH (or no run path) so the staged \
+                  copies on LD_LIBRARY_PATH keep precedence"
+               (Printf.sprintf
+                  "DT_RPATH entry %s precedes LD_LIBRARY_PATH and points \
+                   outside the bundle: it can shadow the staged library \
+                   copies at the target" entry);
+           ]
+         else [])
+
+let check rule (ctx : Context.t) =
+  let has_copies = Context.copies ctx <> [] in
+  Context.described ctx
+  |> List.concat_map (fun ((o : Context.objekt), d) ->
+         let rpath = entries d.Feam_core.Description.rpath in
+         let runpath = entries d.Feam_core.Description.runpath in
+         (* DT_RPATH only takes effect when no DT_RUNPATH is present. *)
+         check_one rule ~has_copies ~label:o.Context.obj_label ~tag:"DT_RPATH"
+           ~shadows_staging:(runpath = []) rpath
+         @ check_one rule ~has_copies ~label:o.Context.obj_label
+             ~tag:"DT_RUNPATH" ~shadows_staging:false runpath)
+
+let rec rule =
+  {
+    Rule.id;
+    title = "RPATH/RUNPATH entries that escape the bundle or the filesystem";
+    default_level = Feam_core.Diagnose.Warn;
+    check = (fun ctx -> check rule ctx);
+  }

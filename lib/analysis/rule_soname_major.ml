@@ -1,0 +1,85 @@
+(* Major-version conflicts inside the dependency closure: two objects
+   that provide or require the same library base at *different* major
+   versions.  By the soname convention (§III.D) majors are not API
+   compatible, so whichever copy wins the search path breaks the loser's
+   requirement — a failure the root-binary-only determinant never sees. *)
+
+open Feam_util
+open Feam_core
+
+let id = "soname-major-conflict"
+
+(* (base, major, "who role") entries from both sides of the graph. *)
+let entries (ctx : Context.t) =
+  let provided =
+    Context.described ctx
+    |> List.filter_map (fun ((o : Context.objekt), d) ->
+           match d.Description.soname with
+           | Some s -> (
+             match Soname.major s with
+             | Some m ->
+               Some
+                 ( Soname.base s,
+                   m,
+                   Printf.sprintf "%s (provides)" o.Context.obj_label )
+             | None -> None)
+           | None -> None)
+  in
+  let required =
+    Context.requirements ctx
+    |> List.filter_map (fun ((o : Context.objekt), name) ->
+           match Soname.of_string name with
+           | Some s -> (
+             match Soname.major s with
+             | Some m ->
+               Some
+                 ( Soname.base s,
+                   m,
+                   Printf.sprintf "%s (required by %s)" name
+                     o.Context.obj_label )
+             | None -> None)
+           | None -> None)
+  in
+  provided @ required
+
+let check rule (ctx : Context.t) =
+  let by_base = Hashtbl.create 16 in
+  List.iter
+    (fun (base, major, who) ->
+      let prev = Option.value (Hashtbl.find_opt by_base base) ~default:[] in
+      Hashtbl.replace by_base base ((major, who) :: prev))
+    (entries ctx);
+  Hashtbl.fold
+    (fun base majors acc ->
+      let distinct =
+        List.sort_uniq compare (List.map fst majors)
+      in
+      if List.length distinct < 2 then acc
+      else
+        let detail =
+          majors |> List.rev
+          |> List.map (fun (m, who) -> Printf.sprintf ".%d: %s" m who)
+          |> String.concat "; "
+        in
+        Rule.finding rule ~subject:(base ^ ".so")
+          ~fixit:
+            (Printf.sprintf
+               "align the closure on a single major version of %s, or drop \
+                the stale copies from the bundle"
+               base)
+          (Printf.sprintf
+             "the closure mixes incompatible major versions %s (%s)"
+             (String.concat ", "
+                (List.map (fun m -> Printf.sprintf ".%d" m) distinct))
+             detail)
+        :: acc)
+    by_base []
+
+let rec rule =
+  {
+    Rule.id;
+    title =
+      "the same library base at different major versions across the closure";
+    default_level = Feam_core.Diagnose.Error;
+    check = (fun ctx -> check rule ctx);
+  }

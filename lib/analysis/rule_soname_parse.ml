@@ -1,0 +1,70 @@
+(* Unparseable shared-object names.  Every layer of the framework — the
+   compatibility convention, the resolution model, the bundle index —
+   keys on lib<base>.so.<major> names; a name that does not parse is
+   invisible to all of them, and the hardened Feam_util.Soname parser
+   now says exactly what is malformed instead of returning a silent
+   None. *)
+
+open Feam_util
+
+let id = "soname-parse"
+
+(* Names the dynamic loader itself owns don't follow the convention. *)
+let exempt name =
+  Feam_core.Bdc.is_c_library name
+  || String.starts_with ~prefix:"ld-" name
+  || String.starts_with ~prefix:"ld." name
+
+let check_name rule ~role name =
+  if exempt name then []
+  else
+    match Soname.of_string_result name with
+    | Ok _ -> []
+    | Error e ->
+      [
+        Rule.finding rule ~subject:name
+          ~fixit:
+            "rename the library to the lib<base>.so.<major>[.<minor>] \
+             convention so version compatibility can be checked"
+          (Printf.sprintf "%s does not parse as a shared-object name: %s"
+             role
+             (Soname.parse_error_to_string e));
+      ]
+
+let check rule (ctx : Context.t) =
+  let requirement_findings =
+    Context.requirements ctx
+    |> List.concat_map (fun ((o : Context.objekt), name) ->
+           check_name rule
+             ~role:(Printf.sprintf "DT_NEEDED entry of %s" o.Context.obj_label)
+             name)
+  in
+  let copy_findings =
+    Context.copies ctx
+    |> List.concat_map (fun (o : Context.objekt) ->
+           (* strip the #n uniquifier duplicated requests carry *)
+           let request =
+             match String.index_opt o.Context.obj_label '#' with
+             | Some i -> String.sub o.Context.obj_label 0 i
+             | None -> o.Context.obj_label
+           in
+           check_name rule ~role:"bundled copy request" request)
+  in
+  (* one finding per distinct name *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (f : Feam_core.Diagnose.finding) ->
+      if Hashtbl.mem seen f.Feam_core.Diagnose.subject then false
+      else begin
+        Hashtbl.add seen f.Feam_core.Diagnose.subject ();
+        true
+      end)
+    (requirement_findings @ copy_findings)
+
+let rec rule =
+  {
+    Rule.id;
+    title = "library names that defy the lib<base>.so.<major> convention";
+    default_level = Feam_core.Diagnose.Warn;
+    check = (fun ctx -> check rule ctx);
+  }

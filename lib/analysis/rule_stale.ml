@@ -1,0 +1,106 @@
+(* Bundle staleness: the description recorded at the source phase must
+   match a fresh byte-level reparse of the embedded image.  Toolchains
+   stamp every build with a distinct build id, so a description gathered
+   from one build and bytes captured from another — a bundle refreshed
+   half-way — disagree here first. *)
+
+open Feam_core
+
+let id = "stale-bundle"
+
+let build_id_of (spec : Feam_elf.Spec.t) =
+  List.find_opt
+    (String.starts_with ~prefix:"GNU Build ID")
+    spec.Feam_elf.Spec.comments
+
+let refresh_fixit = "re-run the source phase to regenerate the bundle"
+
+let describe_mismatches (d : Description.t) (spec : Feam_elf.Spec.t) =
+  let soname_str = function
+    | Some s -> Feam_util.Soname.to_string s
+    | None -> "-"
+  in
+  List.filter_map
+    (fun x -> x)
+    [
+      (if d.Description.machine <> spec.Feam_elf.Spec.machine then
+         Some
+           (Printf.sprintf "machine (recorded %s, image %s)"
+              (Feam_elf.Types.machine_uname d.Description.machine)
+              (Feam_elf.Types.machine_uname spec.Feam_elf.Spec.machine))
+       else None);
+      (if d.Description.elf_class <> spec.Feam_elf.Spec.elf_class then
+         Some "word size"
+       else None);
+      (if
+         soname_str d.Description.soname
+         <> Option.value spec.Feam_elf.Spec.soname ~default:"-"
+         && not
+              (d.Description.soname = None && spec.Feam_elf.Spec.soname = None)
+       then
+         Some
+           (Printf.sprintf "soname (recorded %s, image %s)"
+              (soname_str d.Description.soname)
+              (Option.value spec.Feam_elf.Spec.soname ~default:"-"))
+       else None);
+      (if d.Description.needed <> spec.Feam_elf.Spec.needed then
+         Some
+           (Printf.sprintf "DT_NEEDED (recorded [%s], image [%s])"
+              (String.concat ", " d.Description.needed)
+              (String.concat ", " spec.Feam_elf.Spec.needed))
+       else None);
+    ]
+
+let check rule (ctx : Context.t) =
+  ctx.Context.objects
+  |> List.concat_map (fun (o : Context.objekt) ->
+         let label = o.Context.obj_label in
+         match (o.Context.obj_bytes, o.Context.obj_parse_error) with
+         | Some _, Some e ->
+           [
+             Rule.finding rule ~subject:label ~fixit:refresh_fixit
+               (Printf.sprintf "embedded image does not parse: %s" e);
+           ]
+         | Some bytes, None ->
+           let size_findings =
+             if o.Context.obj_declared_size < String.length bytes then
+               [
+                 Rule.finding rule ~subject:label ~fixit:refresh_fixit
+                   (Printf.sprintf
+                      "declared size %d is smaller than the embedded image \
+                       (%d bytes): the manifest predates the image"
+                      o.Context.obj_declared_size (String.length bytes));
+               ]
+             else []
+           in
+           let desc_findings =
+             match (o.Context.obj_description, o.Context.obj_spec) with
+             | Some d, Some spec -> (
+               match describe_mismatches d spec with
+               | [] -> []
+               | mismatches ->
+                 let provenance =
+                   match build_id_of spec with
+                   | Some bid -> Printf.sprintf " [image %s]" bid
+                   | None -> ""
+                 in
+                 [
+                   Rule.finding rule ~subject:label ~fixit:refresh_fixit
+                     (Printf.sprintf
+                        "recorded description is stale for the embedded \
+                         image: %s%s"
+                        (String.concat "; " mismatches)
+                        provenance);
+                 ])
+             | _ -> []
+           in
+           size_findings @ desc_findings
+         | None, _ -> [])
+
+let rec rule =
+  {
+    Rule.id;
+    title = "recorded descriptions that disagree with the embedded images";
+    default_level = Feam_core.Diagnose.Error;
+    check = (fun ctx -> check rule ctx);
+  }

@@ -20,6 +20,61 @@ let severity_to_string = function
   | Needs_administrator -> "needs administrator"
   | Needs_rebuild -> "needs rebuild"
 
+(* -- Static-analysis findings ------------------------------------------- *)
+
+(* The structured diagnostic emitted by the `feam lint` analysis layer
+   (lib/analysis).  The type lives here so that reports can carry
+   findings and remediation can consume them without the core depending
+   on the analysis library. *)
+
+type level = Error | Warn | Info
+
+type finding = {
+  rule_id : string;
+  level : level;
+  subject : string;  (* the object or name the finding is about *)
+  message : string;
+  fixit : string option;  (* a concrete suggested fix, when one exists *)
+}
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+
+let level_rank = function Error -> 0 | Warn -> 1 | Info -> 2
+
+(* Severe first, then by rule id and subject: a stable presentation
+   order for reports and lint output. *)
+let compare_finding a b =
+  let c = compare (level_rank a.level) (level_rank b.level) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule_id b.rule_id in
+    if c <> 0 then c else String.compare a.subject b.subject
+
+(* Fold lint findings into remediation guidance.  A finding with a fixit
+   names a concrete action the scientist can take; an error without one
+   needs heavier machinery (the analysis rules reserve fixit-less errors
+   for structural problems only a site administrator or rebuild cures). *)
+let remedies_of_findings findings =
+  findings
+  |> List.filter (fun f -> f.level <> Info)
+  |> List.sort compare_finding
+  |> List.map (fun f ->
+         let severity =
+           match (f.fixit, f.level) with
+           | Some _, _ -> User_fixable
+           | None, Error -> Needs_rebuild
+           | None, _ -> Needs_administrator
+         in
+         let action =
+           match f.fixit with
+           | Some fix -> Printf.sprintf "[%s] %s: %s — %s" f.rule_id f.subject f.message fix
+           | None -> Printf.sprintf "[%s] %s: %s" f.rule_id f.subject f.message
+         in
+         { severity; action })
+
 (* Remedies for one prediction, in determinant order. *)
 let remedies (p : Predict.t) : remedy list =
   let d = p.Predict.determinants in

@@ -12,6 +12,36 @@ type remedy = { severity : severity; action : string }
 
 val severity_to_string : severity -> string
 
+(** {1 Static-analysis findings}
+
+    The structured diagnostic emitted by the [feam lint] analysis layer
+    ([lib/analysis]).  Declared here so reports can carry findings and
+    remediation can consume them without a dependency on the analysis
+    library itself. *)
+
+type level = Error | Warn | Info
+
+type finding = {
+  rule_id : string;
+  level : level;
+  subject : string;  (** the object or name the finding is about *)
+  message : string;
+  fixit : string option;  (** a concrete suggested fix, when one exists *)
+}
+
+val level_to_string : level -> string
+
+(** Error < Warn < Info. *)
+val level_rank : level -> int
+
+(** Severe first, then rule id, then subject. *)
+val compare_finding : finding -> finding -> int
+
+(** Fold lint findings into remediation guidance: a finding with a fixit
+    is user-fixable; errors without one need a rebuild, warnings without
+    one an administrator.  Info findings carry no remedy. *)
+val remedies_of_findings : finding list -> remedy list
+
 (** Remedies for one prediction, in determinant order; empty when the
     prediction is ready. *)
 val remedies : Predict.t -> remedy list

@@ -8,15 +8,30 @@ type t = {
   binary : string;
   prediction : Predict.t;
   setup_script : string option;  (** present when predicted ready *)
+  findings : Diagnose.finding list;
+      (** static-analysis findings attached by the lint layer ([feam
+          lint] / [feam predict --lint]), severe first *)
 }
 
 val prediction : t -> Predict.t
+val findings : t -> Diagnose.finding list
+
+(** Attach (replace) the static-analysis findings of a report. *)
+val with_findings : t -> Diagnose.finding list -> t
 
 (** Generate the setup script for a ready plan: module loads,
     LD_LIBRARY_PATH exports for staged copies, and the launch line. *)
 val make_setup_script : Predict.plan -> binary:string -> string
 
-val make : site_name:string -> binary:string -> Predict.t -> t
+val make :
+  ?findings:Diagnose.finding list ->
+  site_name:string ->
+  binary:string ->
+  Predict.t ->
+  t
+
+(** JSON form of one lint finding (shared with [feam lint] output). *)
+val finding_to_json : Diagnose.finding -> Feam_util.Json.t
 
 (** Machine-readable form of the report (extension: tooling output). *)
 val to_json : t -> Feam_util.Json.t

@@ -29,36 +29,78 @@ let to_string t =
 (* The link name used at compile time: "libfoo.so". *)
 let link_name t = t.base ^ ".so"
 
-(* Parse "libfoo.so.1.2.3".  Returns [None] when there is no ".so"
-   component, e.g. for ordinary file names. *)
-let of_string s =
+(* Why parsing a file name as a soname failed: fuel for the lint rule
+   that surfaces malformed library names instead of dropping them. *)
+type parse_error =
+  | No_so_marker
+  | Empty_base
+  | Empty_version_component
+  | Bad_version_component of string
+  | Version_out_of_range of string
+
+let parse_error_to_string = function
+  | No_so_marker -> "no \".so\" marker followed by a dotted numeric version"
+  | Empty_base -> "empty library base name before \".so\""
+  | Empty_version_component -> "empty version component (consecutive dots)"
+  | Bad_version_component c ->
+    Printf.sprintf "non-numeric version component %S" c
+  | Version_out_of_range c ->
+    Printf.sprintf "version component %S out of range" c
+
+(* Parse "libfoo.so.1.2.3".  Scans for a ".so" occurrence followed only by
+   dotted numbers (or nothing); on failure the error describes the best
+   (last) candidate so callers can explain *why* a name is malformed. *)
+let of_string_result s =
   let is_digit c = c >= '0' && c <= '9' in
-  (* Find the last ".so" occurrence that is followed only by dotted
-     numbers (or nothing). *)
   let n = String.length s in
-  let rec find_so i =
-    if i + 3 > n then None
+  (* Diagnose the version suffix after one ".so" candidate. *)
+  let suffix_error rest =
+    if rest = "" then None
+    else if rest.[0] <> '.' then Some (Bad_version_component rest)
+    else
+      let parts =
+        String.split_on_char '.' (String.sub rest 1 (String.length rest - 1))
+      in
+      List.find_map
+        (fun p ->
+          if p = "" then Some Empty_version_component
+          else if not (String.for_all is_digit p) then
+            Some (Bad_version_component p)
+          else
+            match int_of_string_opt p with
+            | Some _ -> None
+            | None -> Some (Version_out_of_range p))
+        parts
+  in
+  let rec find_so i err =
+    if i + 3 > n then Error (Option.value err ~default:No_so_marker)
     else if String.sub s i 3 = ".so" then
       let rest = String.sub s (i + 3) (n - i - 3) in
-      let ok, version =
-        if rest = "" then (true, [])
-        else if rest.[0] <> '.' then (false, [])
+      match suffix_error rest with
+      | Some e -> find_so (i + 1) (Some e)
+      | None ->
+        if i = 0 then find_so (i + 1) (Some Empty_base)
         else
-          let parts = String.split_on_char '.' (String.sub rest 1 (String.length rest - 1)) in
-          let numeric p = p <> "" && String.for_all is_digit p in
-          if List.for_all numeric parts then (true, List.map int_of_string parts)
-          else (false, [])
-      in
-      if ok && i > 0 then Some { base = String.sub s 0 i; version }
-      else find_so (i + 1)
-    else find_so (i + 1)
+          let version =
+            if rest = "" then []
+            else
+              String.split_on_char '.'
+                (String.sub rest 1 (String.length rest - 1))
+              |> List.map int_of_string
+          in
+          Ok { base = String.sub s 0 i; version }
+    else find_so (i + 1) err
   in
-  find_so 0
+  find_so 0 None
+
+let of_string s = Result.to_option (of_string_result s)
 
 let of_string_exn s =
-  match of_string s with
-  | Some t -> t
-  | None -> invalid_arg (Printf.sprintf "Soname.of_string_exn: %S" s)
+  match of_string_result s with
+  | Ok t -> t
+  | Error e ->
+    invalid_arg
+      (Printf.sprintf "Soname.of_string_exn: %S (%s)" s (parse_error_to_string e))
 
 let equal a b = a.base = b.base && a.version = b.version
 

@@ -23,8 +23,24 @@ val to_string : t -> string
 (** The compile-time link name: "libfoo.so". *)
 val link_name : t -> string
 
-(** Parse "libfoo.so.1.2.3"; [None] when the string has no ".so"
-    component followed only by dotted numbers. *)
+(** Why a file name fails to parse as a soname.  [Version_out_of_range]
+    covers all-digit components that overflow [int] (e.g. a 30-digit
+    "version"): these are malformed names, not versions. *)
+type parse_error =
+  | No_so_marker
+  | Empty_base
+  | Empty_version_component
+  | Bad_version_component of string
+  | Version_out_of_range of string
+
+val parse_error_to_string : parse_error -> string
+
+(** Parse "libfoo.so.1.2.3"; the error explains what is malformed about
+    the name (trailing non-numeric suffixes such as "libfoo.so.1abc",
+    empty components such as "libfoo.so..1", a missing base, ...). *)
+val of_string_result : string -> (t, parse_error) result
+
+(** [of_string s] is {!of_string_result} with the reason discarded. *)
 val of_string : string -> t option
 
 (** @raise Invalid_argument when {!of_string} would return [None]. *)

@@ -100,6 +100,45 @@ let prop_objdump_parser_total =
       match Feam_core.Objdump_parse.parse_objdump_p text with
       | Ok _ | Error _ -> true)
 
+(* Includes the historical crash shape: an all-digit version component
+   exceeding max_int used to raise an uncaught [Failure] inside
+   [int_of_string]. *)
+let gen_soname_like =
+  QCheck.Gen.(
+    oneof
+      [
+        map Bytes.to_string (bytes_size (int_range 0 32));
+        map
+          (fun (base, suffix) -> base ^ suffix)
+          (pair
+             (oneofl [ "libm"; "lib"; ""; "x" ])
+             (oneofl
+                [
+                  ".so.1";
+                  ".so.";
+                  ".so..2";
+                  ".so.1abc";
+                  ".so.999999999999999999999999";
+                  ".so.-1";
+                  ".so.1.2.3";
+                  "so.1";
+                  ".so";
+                ]));
+      ])
+
+let prop_soname_parser_total =
+  QCheck.Test.make ~name:"fuzz: soname parser is total on arbitrary strings"
+    ~count:800
+    (QCheck.make ~print:String.escaped gen_soname_like)
+    (fun s ->
+      (match Feam_util.Soname.of_string_result s with
+      | Ok _ | Error _ -> ());
+      (* [of_string] agrees with [of_string_result] *)
+      match (Feam_util.Soname.of_string s, Feam_util.Soname.of_string_result s) with
+      | Some a, Ok b -> Feam_util.Soname.equal a b
+      | None, Error _ -> true
+      | _ -> false)
+
 let suite =
   ( "fuzz",
     [
@@ -108,4 +147,5 @@ let suite =
       QCheck_alcotest.to_alcotest prop_bundle_parser_total;
       QCheck_alcotest.to_alcotest prop_json_parser_total;
       QCheck_alcotest.to_alcotest prop_objdump_parser_total;
+      QCheck_alcotest.to_alcotest prop_soname_parser_total;
     ] )

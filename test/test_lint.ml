@@ -1,0 +1,287 @@
+(* Golden tests for the `feam lint` static-analysis pass: a clean
+   source-phase bundle produces no findings (exit 0), and a hand-built
+   dirty bundle trips the rule set with exactly the expected text and
+   JSON output. *)
+
+open Feam_util
+open Feam_core
+open Feam_analysis
+
+let v = Version.of_string_exn
+
+(* -- fixtures ---------------------------------------------------------- *)
+
+let description ?soname ?(needed = []) ?rpath ?(verneeds = [])
+    ?(machine = Feam_elf.Types.X86_64) ?(elf_class = Feam_elf.Types.C64) path =
+  {
+    Description.path;
+    file_format = "elf64-x86-64";
+    machine;
+    elf_class;
+    soname;
+    needed;
+    rpath;
+    runpath = None;
+    verneeds;
+    required_glibc = Description.required_glibc_of_verneeds verneeds;
+    mpi = None;
+    provenance = { Objdump_parse.compiler_banner = None; build_os = None };
+  }
+
+let discovery =
+  {
+    Discovery.env_type = `Guaranteed;
+    machine = Some Feam_elf.Types.X86_64;
+    elf_class = Some Feam_elf.Types.C64;
+    os = Some "CentOS 5.6";
+    kernel = Some "2.6.18";
+    glibc = Some (v "2.5");
+    stacks = [];
+    current_stack = None;
+  }
+
+let image ?soname ?(needed = []) ?rpath ?verneeds ?interp
+    ?(file_type = Feam_elf.Types.ET_DYN) ?(machine = Feam_elf.Types.X86_64) ()
+    =
+  Feam_elf.Builder.build
+    (Feam_elf.Spec.make ~file_type ?soname ~needed ?rpath ?verneeds ?interp
+       machine)
+
+let copy ~request ~origin ~description:d bytes =
+  {
+    Bdc.copy_request = request;
+    copy_origin_path = origin;
+    copy_bytes = bytes;
+    copy_declared_size = String.length bytes;
+    copy_description = d;
+  }
+
+(* A bundle with seeded defects: an unconventional loader, a relative
+   and a shadowing RPATH, an unknown and a too-new glibc binding, a
+   malformed DT_NEEDED name, a copy whose recorded description is for
+   another machine, a major-version conflict, a dependency cycle, and
+   stale unlocatable bookkeeping. *)
+let dirty_bundle () =
+  let root_needed =
+    [ "libfoo.so.1"; "libbar.so.2"; "libbogus.so.1abc"; "libc.so.6" ]
+  in
+  let root_verneeds =
+    [ ("libc.so.6", [ "GLIBC_2.2.5"; "GLIBC_2.12"; "GLIBC_2.99" ]) ]
+  in
+  let root_rpath = "../libs:/home/user/oldlibs" in
+  let root_bytes =
+    image ~needed:root_needed ~rpath:root_rpath
+      ~verneeds:
+        (List.map
+           (fun (vn_file, vn_versions) -> { Feam_elf.Spec.vn_file; vn_versions })
+           root_verneeds)
+      ~interp:"/lib/ld-weird.so.1" ~file_type:Feam_elf.Types.ET_EXEC ()
+  in
+  let foo_bytes =
+    image
+      ~soname:(Soname.make ~version:[ 1 ] "libfoo" |> Soname.to_string)
+      ~needed:[ "libbar.so.2"; "libc.so.6" ] ()
+  in
+  let bar_bytes =
+    image
+      ~soname:(Soname.make ~version:[ 2 ] "libbar" |> Soname.to_string)
+      ~needed:[ "libfoo.so.2"; "libfoo.so.1"; "libc.so.6" ] ()
+  in
+  {
+    Bundle.created_at = "home";
+    binary_description =
+      description ~needed:root_needed ~rpath:root_rpath
+        ~verneeds:root_verneeds "/home/user/bin/app";
+    binary_bytes = Some root_bytes;
+    binary_declared_size = String.length root_bytes;
+    copies =
+      [
+        copy ~request:"libfoo.so.1" ~origin:"/usr/lib64/libfoo.so.1"
+          ~description:
+            (description
+               ~soname:(Soname.make ~version:[ 1 ] "libfoo")
+               ~needed:[ "libbar.so.2"; "libc.so.6" ]
+               ~machine:Feam_elf.Types.PPC64 "/usr/lib64/libfoo.so.1")
+          foo_bytes;
+        copy ~request:"libbar.so.2" ~origin:"/usr/lib64/libbar.so.2"
+          ~description:
+            (description
+               ~soname:(Soname.make ~version:[ 2 ] "libbar")
+               ~needed:[ "libfoo.so.2"; "libfoo.so.1"; "libc.so.6" ]
+               "/usr/lib64/libbar.so.2")
+          bar_bytes;
+      ];
+    unlocatable = [ "libwidget.so.3"; "libbar.so.2" ];
+    probes = [];
+    source_discovery = discovery;
+  }
+
+let dirty_context () =
+  Context.of_bundle
+    ~target:
+      (Context.make_target ~name:"india" ~machine:Feam_elf.Types.X86_64
+         ~glibc:(v "2.5") ())
+    (dirty_bundle ())
+
+(* A genuine source-phase bundle headed to a compatible site. *)
+let clean_context () =
+  let home, installs = Fixtures.small_site ~name:"linthome" () in
+  let path, install =
+    Fixtures.compiled_binary ~program:Fixtures.fortran_program home installs
+  in
+  let env = Fixtures.session_env home install in
+  let bundle =
+    Fixtures.run_exn
+      (Phases.source_phase Config.default home env ~binary_path:path)
+  in
+  let target, _ = Fixtures.small_site ~name:"linttarget" ~glibc:"2.12" () in
+  Context.of_bundle ~target:(Context.target_of_site target) bundle
+
+(* -- tests -------------------------------------------------------------- *)
+
+let test_clean_bundle () =
+  let ctx = clean_context () in
+  let findings = Engine.run ctx in
+  Alcotest.(check int) "no findings" 0 (List.length findings);
+  Alcotest.(check int) "exit code" 0 (Engine.exit_code findings);
+  Alcotest.(check string) "summary" "0 errors, 0 warnings, 0 info"
+    (Engine.summary findings)
+
+let expected_dirty_text =
+  {golden|feam lint: /home/user/bin/app (bundled at home, 2 copies, 0 probes) -> india
+error glibc-verneed         /home/user/bin/app: requires symbol version GLIBC_2.12 from libc.so.6 but the target provides glibc 2.5
+      fix: rebuild on a system with glibc <= 2.5, or migrate to a site providing glibc >= 2.12
+error glibc-verneed         /home/user/bin/app: requires symbol version GLIBC_2.99 from libc.so.6 but the target provides glibc 2.5
+      fix: rebuild on a system with glibc <= 2.5, or migrate to a site providing glibc >= 2.99
+error isa-mismatch          libfoo.so.1: bundled copy is ppc64/64-bit but the application is x86_64/64-bit; the loader will reject it
+      fix: replace the copy with a x86_64/64-bit build from a matching site
+error rpath-escape          /home/user/bin/app: relative DT_RPATH entry "../libs" resolves against the working directory at the target
+      fix: relink with an absolute DT_RPATH
+error soname-major-conflict libfoo.so: the closure mixes incompatible major versions .1, .2 (.1: libfoo.so.1 (provides); .1: libfoo.so.1 (required by /home/user/bin/app); .2: libfoo.so.2 (required by libbar.so.2); .1: libfoo.so.1 (required by libbar.so.2))
+      fix: align the closure on a single major version of libfoo, or drop the stale copies from the bundle
+error stale-bundle          libfoo.so.1: recorded description is stale for the embedded image: machine (recorded ppc64, image x86_64)
+      fix: re-run the source phase to regenerate the bundle
+warn  dep-cycle             libbar.so.2: dependency cycle libbar.so.2 -> libfoo.so.1 -> libbar.so.2: the staged copies will initialize in an order the source site never exercised
+warn  glibc-verneed         /home/user/bin/app: GLIBC_2.99 from libc.so.6 is not a known glibc release; the binding can never be satisfied by a stock C library
+warn  interp-mismatch       /home/user/bin/app: PT_INTERP requests /lib/ld-weird.so.1 but the conventional x86_64 loader is /lib64/ld-linux-x86-64.so.2
+      fix: relink against the standard loader, or ensure /lib/ld-weird.so.1 exists at every target
+warn  rpath-escape          /home/user/bin/app: DT_RPATH entry /home/user/oldlibs precedes LD_LIBRARY_PATH and points outside the bundle: it can shadow the staged library copies at the target
+      fix: relink with DT_RUNPATH (or no run path) so the staged copies on LD_LIBRARY_PATH keep precedence
+warn  soname-parse          libbogus.so.1abc: DT_NEEDED entry of /home/user/bin/app does not parse as a shared-object name: non-numeric version component "1abc"
+      fix: rename the library to the lib<base>.so.<major>[.<minor>] convention so version compatibility can be checked
+warn  unresolved-missing    libbogus.so.1abc: required by /home/user/bin/app but neither bundled nor recorded as unlocatable: the source-phase manifest is incomplete
+      fix: re-run the source phase to complete the closure
+warn  unresolved-missing    libfoo.so.2: required by libbar.so.2 but neither bundled nor recorded as unlocatable: the source-phase manifest is incomplete
+      fix: re-run the source phase to complete the closure
+warn  unresolved-missing    libwidget.so.3: no bundled copy: execution readiness depends entirely on the target site providing it
+      fix: obtain a copy from a site where the binary runs and re-bundle (FEAM's source phase automates this)
+info  unresolved-missing    libbar.so.2: recorded as unlocatable at the source, yet the bundle carries a copy that satisfies it
+      fix: re-run the source phase to refresh the bundle manifest
+6 errors, 8 warnings, 1 info
+|golden}
+
+let test_dirty_text_golden () =
+  let ctx = dirty_context () in
+  let findings = Engine.run ctx in
+  Alcotest.(check string) "lint text" expected_dirty_text
+    (Engine.render_text ctx findings);
+  Alcotest.(check int) "exit code" 2 (Engine.exit_code findings)
+
+let test_dirty_rule_coverage () =
+  (* every registered rule fires on the dirty fixture *)
+  let ctx = dirty_context () in
+  let findings = Engine.run ctx in
+  let fired =
+    List.sort_uniq compare
+      (List.map (fun f -> f.Diagnose.rule_id) findings)
+  in
+  Alcotest.(check (list string)) "all rules fire" (Registry.ids ()) fired
+
+let test_dirty_json_golden () =
+  let ctx = dirty_context () in
+  let findings = Engine.run ctx in
+  let json = Engine.to_json ctx findings in
+  (* the rendered JSON must parse back with Feam_util.Json *)
+  let parsed = Fixtures.run_exn (Json.parse (Json.render json)) in
+  let member name = Option.get (Json.member name parsed) in
+  Alcotest.(check (option string)) "binary" (Some "/home/user/bin/app")
+    (Json.to_string_opt (member "binary"));
+  let summary = member "summary" in
+  let count k = Json.to_int_opt (Option.get (Json.member k summary)) in
+  Alcotest.(check (option int)) "errors" (Some (Engine.errors findings)) (count "errors");
+  Alcotest.(check (option int)) "warnings" (Some (Engine.warnings findings))
+    (count "warnings");
+  Alcotest.(check (option int)) "exit code" (Some 2) (count "exit_code");
+  let listed = Option.get (Json.to_list_opt (member "findings")) in
+  Alcotest.(check int) "finding count" (List.length findings) (List.length listed);
+  (* findings JSON carries the rule ids in report order *)
+  let ids =
+    List.filter_map
+      (fun f -> Option.bind (Json.member "rule" f) Json.to_string_opt)
+      listed
+  in
+  Alcotest.(check (list string)) "rule ids" (List.map (fun f -> f.Diagnose.rule_id) findings) ids
+
+let test_remedies_from_findings () =
+  let ctx = dirty_context () in
+  let findings = Engine.run ctx in
+  let remedies = Diagnose.remedies_of_findings findings in
+  (* info findings carry no remedy; everything else does *)
+  Alcotest.(check int) "remedy count"
+    (List.length findings - Engine.infos findings)
+    (List.length remedies);
+  (* findings with a concrete fixit are user-fixable *)
+  List.iter
+    (fun (r : Diagnose.remedy) ->
+      if Feam_sysmodel.Str_split.contains ~sub:" — " r.Diagnose.action then
+        Alcotest.(check string) "fixit remedies are user-fixable" "user-fixable"
+          (Diagnose.severity_to_string r.Diagnose.severity))
+    remedies
+
+let test_report_carries_findings () =
+  let ctx = dirty_context () in
+  let findings = Engine.run ctx in
+  let prediction =
+    {
+      Predict.verdict = Predict.Not_ready [ "lint fixture" ];
+      determinants =
+        {
+          Predict.isa =
+            {
+              Predict.isa_compatible = true;
+              binary_machine = Feam_elf.Types.X86_64;
+              binary_class = Feam_elf.Types.C64;
+              site_machine = Some Feam_elf.Types.X86_64;
+            };
+          stack = None;
+          clib =
+            { Predict.clib_compatible = true; required = None; available = None };
+          libs = None;
+        };
+    }
+  in
+  let report =
+    Report.make ~findings ~site_name:"india" ~binary:"/home/user/bin/app"
+      prediction
+  in
+  let text = Report.render report in
+  Alcotest.(check bool) "lint section present" true
+    (Feam_sysmodel.Str_split.contains ~sub:"static analysis findings:" text);
+  Alcotest.(check bool) "finding rendered" true
+    (Feam_sysmodel.Str_split.contains ~sub:"soname-major-conflict" text);
+  let json = Fixtures.run_exn (Json.parse (Json.render (Report.to_json report))) in
+  match Json.member "lint" json with
+  | Some (Json.List l) ->
+    Alcotest.(check int) "json lint entries" (List.length findings) (List.length l)
+  | _ -> Alcotest.fail "report JSON lacks a lint list"
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "clean bundle is clean" `Quick test_clean_bundle;
+      Alcotest.test_case "dirty text golden" `Quick test_dirty_text_golden;
+      Alcotest.test_case "dirty fires every rule" `Quick test_dirty_rule_coverage;
+      Alcotest.test_case "dirty json golden" `Quick test_dirty_json_golden;
+      Alcotest.test_case "remedies from findings" `Quick test_remedies_from_findings;
+      Alcotest.test_case "report carries findings" `Quick test_report_carries_findings;
+    ] )

@@ -37,6 +37,7 @@ let () =
       Test_sweep.suite;
       Test_misc_coverage.suite;
       Test_fuzz.suite;
+      Test_lint.suite;
       Test_whatif.suite;
       Test_accounting.suite;
       Test_static.suite;

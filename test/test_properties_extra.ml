@@ -81,6 +81,59 @@ let test_corpus_stats_consistent () =
        (fun acc r -> acc + r.Feam_evalharness.Corpus_stats.total)
        0 rows)
 
+(* -- soname and version laws -------------------------------------------------- *)
+
+let gen_soname =
+  QCheck.Gen.(
+    map
+      (fun (base, version) -> Feam_util.Soname.make ~version base)
+      (pair
+         (oneofl [ "libm"; "libmpi"; "libgfortran"; "libx264"; "ld-linux" ])
+         (list_size (int_range 0 4) (int_range 0 999))))
+
+let prop_soname_roundtrip =
+  QCheck.Test.make ~name:"soname: to_string/of_string round-trip" ~count:300
+    (QCheck.make
+       ~print:(fun s -> Feam_util.Soname.to_string s)
+       gen_soname)
+    (fun s ->
+      match Feam_util.Soname.of_string (Feam_util.Soname.to_string s) with
+      | Some s' -> Feam_util.Soname.equal s s'
+      | None -> false)
+
+let prop_soname_satisfies_reflexive =
+  QCheck.Test.make ~name:"soname: satisfies is reflexive" ~count:200
+    (QCheck.make ~print:Feam_util.Soname.to_string gen_soname)
+    (fun s -> Feam_util.Soname.satisfies ~provided:s ~required:s)
+
+let gen_version =
+  QCheck.Gen.(
+    map Feam_util.Version.of_ints (list_size (int_range 1 4) (int_range 0 99)))
+
+let prop_version_roundtrip =
+  QCheck.Test.make ~name:"version: to_string/of_string round-trip" ~count:300
+    (QCheck.make ~print:Feam_util.Version.to_string gen_version)
+    (fun v ->
+      match Feam_util.Version.of_string (Feam_util.Version.to_string v) with
+      | Some v' -> Feam_util.Version.equal v v'
+      | None -> false)
+
+let prop_version_compare_total_order =
+  QCheck.Test.make ~name:"version: compare is antisymmetric and transitive"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (a, b, c) ->
+         Printf.sprintf "%s %s %s"
+           (Feam_util.Version.to_string a)
+           (Feam_util.Version.to_string b)
+           (Feam_util.Version.to_string c))
+       QCheck.Gen.(triple gen_version gen_version gen_version))
+    (fun (a, b, c) ->
+      let open Feam_util.Version in
+      compare a b = -compare b a
+      && ((not (a <= b && b <= c)) || a <= c)
+      && (compare a b <> 0 || to_string a = to_string b))
+
 (* -- search precedence over staged copies ------------------------------------ *)
 
 let test_staged_copy_shadows_system_lib () =
@@ -113,6 +166,10 @@ let suite =
       QCheck_alcotest.to_alcotest prop_env_prepend_order;
       QCheck_alcotest.to_alcotest prop_env_append_order;
       Alcotest.test_case "corpus stats consistent" `Slow test_corpus_stats_consistent;
+      QCheck_alcotest.to_alcotest prop_soname_roundtrip;
+      QCheck_alcotest.to_alcotest prop_soname_satisfies_reflexive;
+      QCheck_alcotest.to_alcotest prop_version_roundtrip;
+      QCheck_alcotest.to_alcotest prop_version_compare_total_order;
       Alcotest.test_case "staged copy shadows system lib" `Quick
         test_staged_copy_shadows_system_lib;
     ] )
