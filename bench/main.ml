@@ -234,6 +234,41 @@ let all_benches =
     bench_timing; bench_elf;
   ]
 
+(* Machine-readable results, derived from the observability layer's
+   histogram type: every OLS estimate is observed into the
+   bench.ns_per_run{bench=...} histogram, then the registry is read back
+   into BENCH_obs.json. *)
+let bench_metric = "bench.ns_per_run"
+
+let write_bench_json names =
+  let open Feam_util.Json in
+  let entry name =
+    match
+      Feam_obs.Metrics.histogram_value bench_metric ~labels:[ ("bench", name) ]
+    with
+    | None -> Obj [ ("name", Str name) ]
+    | Some h ->
+      Obj
+        [
+          ("name", Str name);
+          ("iterations", Int h.Feam_obs.Metrics.count);
+          ("ns_per_op", Float (Feam_obs.Metrics.hist_mean h));
+          ( "bounds_ns",
+            List
+              (Array.to_list
+                 (Array.map (fun b -> Float b) h.Feam_obs.Metrics.bounds)) );
+          ( "bucket_counts",
+            List
+              (Array.to_list
+                 (Array.map (fun c -> Int c) h.Feam_obs.Metrics.counts)) );
+        ]
+  in
+  let json = Obj [ ("benches", List (List.map entry names)) ] in
+  Out_channel.with_open_text "BENCH_obs.json" (fun oc ->
+      Out_channel.output_string oc (render json);
+      Out_channel.output_char oc '\n');
+  Fmt.pr "machine-readable results written to BENCH_obs.json@."
+
 let run_benches () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
@@ -241,6 +276,7 @@ let run_benches () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   Fmt.pr "## Bechamel microbenchmarks (one per table/figure)@.@.";
+  let names = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -248,10 +284,14 @@ let run_benches () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Fmt.pr "  %-36s %14.1f ns/run@." name est
+          | Some [ est ] ->
+            Fmt.pr "  %-36s %14.1f ns/run@." name est;
+            Feam_obs.Metrics.observe ~labels:[ ("bench", name) ] bench_metric est;
+            names := name :: !names
           | _ -> Fmt.pr "  %-36s (no estimate)@." name)
         results)
     all_benches;
+  write_bench_json (List.rev !names);
   Fmt.pr "@."
 
 (* -- Artifact regeneration ----------------------------------------------------- *)

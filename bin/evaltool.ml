@@ -48,6 +48,9 @@ let run_eval seed verbose =
   let timings = Timing.sample_timings sites binaries in
   Fmt.pr "FEAM phase timings (simulated): max %.1f s (paper: < 5 min)@."
     (Timing.max_seconds timings);
+  Fmt.pr "@.";
+  Feam_util.Table.print (Timing.phase_breakdown_table ());
+  Fmt.pr "@.";
   List.iter
     (fun (site, bytes) ->
       Fmt.pr "  bundle at %-10s: %.1f MB@." site (Timing.mb bytes))
@@ -151,13 +154,56 @@ let run_ablation seed =
   let results = Ablation.run params in
   Feam_util.Table.print (Ablation.table results)
 
-let run seed verbose sweep_n ablation whatif =
-  if ablation then run_ablation seed
-  else if whatif then run_whatif seed
-  else
-    match sweep_n with
-    | Some n when n > 0 -> run_sweep n
-    | _ -> run_eval seed verbose
+(* --trace/--trace-out: stream the evaluation's spans (per-scenario
+   migrations, sweep seeds, phase breakdowns) to a trace sink. *)
+let setup_obs trace trace_out =
+  match trace with
+  | None -> ()
+  | Some format ->
+    let emit text =
+      match trace_out with
+      | Some file when file <> "-" ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc text)
+      | _ -> (
+        match format with
+        | Feam_obs.Pretty -> prerr_string text
+        | Feam_obs.Jsonl | Feam_obs.Chrome -> print_string text)
+    in
+    Feam_obs.configure ~clock:Feam_obs.Clock.wall ~emit format;
+    at_exit Feam_obs.flush
+
+let trace =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("pretty", Feam_obs.Pretty);
+                ("jsonl", Feam_obs.Jsonl);
+                ("chrome", Feam_obs.Chrome);
+              ]))
+        None
+    & info [ "trace" ] ~docv:"FORMAT"
+        ~doc:"Trace the evaluation: 'pretty', 'jsonl', or 'chrome'.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the trace to FILE instead of the terminal.")
+
+let run seed verbose sweep_n ablation whatif trace trace_out =
+  setup_obs trace trace_out;
+  (if ablation then run_ablation seed
+   else if whatif then run_whatif seed
+   else
+     match sweep_n with
+     | Some n when n > 0 -> run_sweep n
+     | _ -> run_eval seed verbose);
+  Feam_obs.flush ()
 
 let ablation =
   Arg.(
@@ -174,6 +220,8 @@ let whatif =
 let cmd =
   Cmd.v
     (Cmd.info "evaltool" ~doc:"Regenerate the FEAM paper's evaluation tables")
-    Term.(const run $ seed $ verbose $ sweep $ ablation $ whatif)
+    Term.(
+      const run $ seed $ verbose $ sweep $ ablation $ whatif $ trace
+      $ trace_out)
 
 let () = exit (Cmd.eval cmd)

@@ -145,6 +145,53 @@ let find_site scenario name =
 let debug_arg =
   Arg.(value & flag & info [ "debug" ] ~doc:"Enable debug logging.")
 
+(* -- Observability: --trace / --trace-out ------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("pretty", Feam_obs.Pretty);
+                ("jsonl", Feam_obs.Jsonl);
+                ("chrome", Feam_obs.Chrome);
+              ]))
+        None
+    & info [ "trace" ] ~docv:"FORMAT"
+        ~doc:"Trace the run: 'pretty' (human-readable span tree, stderr), \
+              'jsonl' (one JSON object per span), or 'chrome' (Chrome \
+              trace_event JSON; open in chrome://tracing or perfetto).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the trace to FILE instead of the terminal.")
+
+(* Turn tracing on for this process.  The sink is flushed through
+   at_exit so trace output survives early `exit 1` / `exit 2` paths
+   (e.g. `feam lint --fail-on`); sinks are idempotent, so the normal
+   end-of-command flush does not double-write. *)
+let setup_obs trace trace_out =
+  match trace with
+  | None -> ()
+  | Some format ->
+    let emit text =
+      match trace_out with
+      | Some file when file <> "-" ->
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc text)
+      | _ -> (
+        match format with
+        | Feam_obs.Pretty -> prerr_string text
+        | Feam_obs.Jsonl | Feam_obs.Chrome -> print_string text)
+    in
+    Feam_obs.configure ~clock:Feam_obs.Clock.wall ~emit format;
+    at_exit Feam_obs.flush
+
 let scenario_arg =
   Arg.(
     value
@@ -198,8 +245,9 @@ let cmd_sites debug scenario_name =
        ~header:[ "Site"; "ISA"; "OS"; "glibc"; "MPI stacks" ]
        rows)
 
-let cmd_describe debug scenario_name site binary =
+let cmd_describe debug trace trace_out scenario_name site binary =
   setup_logs debug;
+  setup_obs trace trace_out;
   let scenario = load_scenario scenario_name in
   let site = require_site scenario site in
   let path, install =
@@ -214,22 +262,27 @@ let cmd_describe debug scenario_name site binary =
     | Some i -> Modules_tool.load_stack (Site.base_env site) i
     | None -> Site.base_env site
   in
-  match Feam_core.Bdc.describe site env ~path with
+  (match Feam_core.Bdc.describe site env ~path with
   | Ok d -> Fmt.pr "%a@." Feam_core.Description.pp d
   | Error e ->
     Fmt.epr "describe failed: %s@." e;
-    exit 1
+    exit 1);
+  Feam_obs.flush ()
 
-let cmd_discover debug scenario_name site =
+let cmd_discover debug trace trace_out scenario_name site =
   setup_logs debug;
+  setup_obs trace trace_out;
   let scenario = load_scenario scenario_name in
   let site = require_site scenario site in
   let d = Feam_core.Edc.discover ~env_type:`Target site (Site.base_env site) in
-  Fmt.pr "%a@." Feam_core.Discovery.pp d
+  Fmt.pr "%a@." Feam_core.Discovery.pp d;
+  Feam_obs.flush ()
 
-let cmd_predict debug scenario_name from_site to_site binary basic_only json
-    lint =
-  setup_logs debug;
+(* The full prediction pipeline over a scenario — source phase at the
+   home site, target phase (with optional lint findings) at the target —
+   shared by `feam predict` and `feam metrics`. *)
+let run_predict_pipeline ?(announce_source = true) scenario_name from_site
+    to_site binary basic_only lint =
   let scenario = load_scenario scenario_name in
   let home =
     require_site scenario
@@ -280,28 +333,40 @@ let cmd_predict debug scenario_name from_site to_site binary basic_only json
       | Error e -> Error e
       | Ok bundle ->
         linted_bundle := Some bundle;
-        Fmt.pr "source phase at %s: bundle %.1f MB, %d copies, %d probes@.@."
-          (Site.name home)
-          (float_of_int (Feam_core.Bundle.total_bytes bundle) /. 1048576.0)
-          (List.length bundle.Feam_core.Bundle.copies)
-          (List.length bundle.Feam_core.Bundle.probes);
+        if announce_source then
+          Fmt.pr "source phase at %s: bundle %.1f MB, %d copies, %d probes@.@."
+            (Site.name home)
+            (float_of_int (Feam_core.Bundle.total_bytes bundle) /. 1048576.0)
+            (List.length bundle.Feam_core.Bundle.copies)
+            (List.length bundle.Feam_core.Bundle.probes);
         Feam_core.Phases.target_phase ~clock config target
           (Site.base_env target) ~bundle ()
   in
-  match result with
-  | Ok report ->
-    (* the static-analysis layer feeding predict: findings ride the report *)
-    let report =
+  let result =
+    match result with
+    | Error _ -> result
+    | Ok report -> (
+      (* the static-analysis layer feeding predict: findings ride the report *)
       match (lint, !linted_bundle) with
       | true, Some bundle ->
         let ctx =
           Feam_analysis.Context.of_bundle
             ~target:(Feam_analysis.Context.target_of_site target) bundle
         in
-        Feam_core.Report.with_findings report
-          (Feam_analysis.Engine.run ctx)
-      | _ -> report
-    in
+        Ok (Feam_core.Report.with_findings report (Feam_analysis.Engine.run ctx))
+      | _ -> Ok report)
+  in
+  (result, clock)
+
+let cmd_predict debug trace trace_out scenario_name from_site to_site binary
+    basic_only json lint =
+  setup_logs debug;
+  setup_obs trace trace_out;
+  let result, clock =
+    run_predict_pipeline scenario_name from_site to_site binary basic_only lint
+  in
+  (match result with
+  | Ok report ->
     if json then
       print_endline (Feam_util.Json.render (Feam_core.Report.to_json report))
     else begin
@@ -310,7 +375,43 @@ let cmd_predict debug scenario_name from_site to_site binary basic_only json
     end
   | Error e ->
     Fmt.epr "prediction failed: %s@." e;
-    exit 1
+    exit 1);
+  Feam_obs.flush ()
+
+(* -- Metrics dump: `feam metrics` --------------------------------------------- *)
+
+(* Run the prediction pipeline in-process and dump the metrics registry
+   it populated: counters and histograms from the BDC, EDC, probes, the
+   four prediction checks, and the resolution model. *)
+let cmd_metrics debug trace trace_out scenario_name from_site to_site binary
+    basic_only lint json =
+  setup_logs debug;
+  setup_obs trace trace_out;
+  let result, _clock =
+    run_predict_pipeline ~announce_source:false scenario_name from_site to_site
+      binary basic_only lint
+  in
+  let verdict =
+    match result with
+    | Ok report ->
+      if Feam_core.Predict.is_ready (Feam_core.Report.prediction report) then
+        "ready"
+      else "not ready"
+    | Error e -> "failed: " ^ e
+  in
+  if json then
+    print_endline
+      (Json.render
+         (Json.Obj
+            [
+              ("prediction", Json.Str verdict);
+              ("metrics", Feam_obs.Metrics.to_json ());
+            ]))
+  else begin
+    Fmt.pr "prediction: %s@." verdict;
+    print_string (Feam_obs.Metrics.render_text ())
+  end;
+  Feam_obs.flush ()
 
 (* -- Static analysis: `feam lint` -------------------------------------------- *)
 
@@ -358,9 +459,10 @@ let lint_target scenario_name target_site target_glibc =
     | None -> failwith (Printf.sprintf "bad --target-glibc version %S" v))
   | None, None -> None
 
-let cmd_lint debug scenario_name site binary bundle_file target_site
-    target_glibc json list_rules fail_on =
+let cmd_lint debug trace trace_out scenario_name site binary bundle_file
+    target_site target_glibc json list_rules fail_on =
   setup_logs debug;
+  setup_obs trace trace_out;
   if list_rules then begin
     let rows =
       List.map
@@ -390,6 +492,9 @@ let cmd_lint debug scenario_name site binary bundle_file target_site
       | "error" -> if code = 2 then 2 else 0
       | _ -> code
     in
+    (* flush the trace sink before the gate's exit code short-circuits
+       normal teardown (at_exit re-flushing is an idempotent no-op) *)
+    Feam_obs.flush ();
     exit gated
   end
 
@@ -551,12 +656,16 @@ let sites_cmd =
 let describe_cmd =
   Cmd.v
     (Cmd.info "describe" ~doc:"Run the Binary Description Component on a binary")
-    Term.(const cmd_describe $ debug_arg $ scenario_arg $ site_arg $ binary_arg)
+    Term.(
+      const cmd_describe $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
+      $ site_arg $ binary_arg)
 
 let discover_cmd =
   Cmd.v
     (Cmd.info "discover" ~doc:"Run the Environment Discovery Component on a site")
-    Term.(const cmd_discover $ debug_arg $ scenario_arg $ site_arg)
+    Term.(
+      const cmd_discover $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
+      $ site_arg)
 
 let from_arg =
   Arg.(
@@ -591,8 +700,20 @@ let predict_cmd =
     (Cmd.info "predict"
        ~doc:"Predict execution readiness of a binary at a target site")
     Term.(
-      const cmd_predict $ debug_arg $ scenario_arg $ from_arg $ to_arg
-      $ binary_arg $ basic_arg $ json_arg $ predict_lint_arg)
+      const cmd_predict $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
+      $ from_arg $ to_arg $ binary_arg $ basic_arg $ json_arg
+      $ predict_lint_arg)
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run the prediction pipeline and dump the metrics registry it \
+             populated: counters and histograms from the BDC, EDC, probes, \
+             the four prediction checks, and the resolution model.")
+    Term.(
+      const cmd_metrics $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
+      $ from_arg $ to_arg $ binary_arg $ basic_arg $ predict_lint_arg
+      $ json_arg)
 
 let lint_bundle_arg =
   Arg.(
@@ -640,9 +761,10 @@ let lint_cmd =
              and RPATH hazards, bundle staleness.  Exits 0 clean / 1 \
              warnings / 2 errors.")
     Term.(
-      const cmd_lint $ debug_arg $ scenario_arg $ site_arg $ binary_arg
-      $ lint_bundle_arg $ lint_target_arg $ lint_target_glibc_arg $ json_arg
-      $ lint_list_rules_arg $ lint_fail_on_arg)
+      const cmd_lint $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
+      $ site_arg $ binary_arg $ lint_bundle_arg $ lint_target_arg
+      $ lint_target_glibc_arg $ json_arg $ lint_list_rules_arg
+      $ lint_fail_on_arg)
 
 let config_file_arg =
   Arg.(
@@ -693,8 +815,8 @@ let main =
   Cmd.group
     (Cmd.info "feam" ~version:"1.0.0"
        ~doc:"Framework for Efficient Application Migration (simulated sites)")
-    [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; lint_cmd;
-      config_check_cmd; bundle_cmd; inspect_bundle_cmd; advise_cmd; rank_cmd;
-      scenario_template_cmd ]
+    [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; metrics_cmd;
+      lint_cmd; config_check_cmd; bundle_cmd; inspect_bundle_cmd; advise_cmd;
+      rank_cmd; scenario_template_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -3,9 +3,22 @@
 open Feam_core
 
 let run ?rules ctx =
+  Feam_obs.Trace.with_span "lint.run" @@ fun () ->
   let rules = match rules with Some r -> r | None -> Registry.all () in
   rules
-  |> List.concat_map (fun r -> r.Rule.check ctx)
+  |> List.concat_map (fun r ->
+         Feam_obs.Trace.with_span "lint.rule"
+           ~attrs:[ ("rule", Feam_obs.Span.Str r.Rule.id) ]
+         @@ fun () ->
+         let findings = r.Rule.check ctx in
+         if findings <> [] then
+           Feam_obs.Metrics.incr
+             ~by:(List.length findings)
+             ~labels:[ ("rule", r.Rule.id) ]
+             "lint.findings";
+         Feam_obs.Trace.set_attr "findings"
+           (Feam_obs.Span.Int (List.length findings));
+         findings)
   |> List.stable_sort Diagnose.compare_finding
 
 let count level findings =

@@ -33,11 +33,18 @@ let comment_provenance ?clock site path =
 
 (* Primary path: objdump -p. *)
 let describe_via_objdump ?clock site path =
+  Feam_obs.Trace.with_span "bdc.objdump_describe" @@ fun () ->
   match Utilities.objdump_p ?clock site path with
   | Error e -> Error (Utilities.error_to_string e)
   | Ok text -> (
-    match Objdump_parse.parse_objdump_p text with
-    | Error e -> Error e
+    let parse_start = Feam_obs.Trace.now_ns () in
+    let parsed = Objdump_parse.parse_objdump_p text in
+    Feam_obs.Metrics.observe "bdc.objdump_parse_ns"
+      (Int64.to_float (Int64.sub (Feam_obs.Trace.now_ns ()) parse_start));
+    match parsed with
+    | Error e ->
+      Feam_obs.Metrics.incr "bdc.objdump_parse_failures";
+      Error e
     | Ok info ->
       let provenance = comment_provenance ?clock site path in
       Description.of_dynamic_info ~path ~provenance info)
@@ -99,9 +106,17 @@ let describe_via_file_and_ldd ?clock site env path =
 
 (* [describe ?clock site env ~path] — full description with fallbacks. *)
 let describe ?clock site env ~path =
+  Feam_obs.Trace.with_span "bdc.describe"
+    ~attrs:[ ("path", Feam_obs.Span.Str path) ]
+  @@ fun () ->
   match describe_via_objdump ?clock site path with
-  | Ok d -> Ok d
-  | Error _ -> describe_via_file_and_ldd ?clock site env path
+  | Ok d ->
+    Feam_obs.Metrics.incr "bdc.describe" ~labels:[ ("method", "objdump") ];
+    Ok d
+  | Error _ ->
+    Feam_obs.Metrics.incr "bdc.describe" ~labels:[ ("method", "file_ldd") ];
+    Feam_obs.Trace.with_span "bdc.file_ldd_describe" @@ fun () ->
+    describe_via_file_and_ldd ?clock site env path
 
 (* -- Library location (paper §V.A, three search methods) --------------- *)
 
@@ -113,6 +128,9 @@ let is_c_library name =
 (* Locate one dependency by name using locate(1), then find(1) over the
    common library locations and LD_LIBRARY_PATH. *)
 let locate_library ?clock site env name =
+  Feam_obs.Trace.with_span "bdc.locate_library"
+    ~attrs:[ ("library", Feam_obs.Span.Str name) ]
+  @@ fun () ->
   let pick paths =
     (* Prefer an exact basename match; ignore .so dev symlinks. *)
     paths
@@ -133,11 +151,23 @@ let locate_library ?clock site env name =
     | Ok paths -> pick paths
     | Error _ -> None
   in
-  match via_locate () with Some p -> Some p | None -> via_find ()
+  match via_locate () with
+  | Some p ->
+    Feam_obs.Trace.set_attr "method" (Feam_obs.Span.Str "locate");
+    Some p
+  | None -> (
+    match via_find () with
+    | Some p ->
+      Feam_obs.Trace.set_attr "method" (Feam_obs.Span.Str "find");
+      Some p
+    | None ->
+      Feam_obs.Metrics.incr "bdc.locate_failures";
+      None)
 
 (* Paths of the binary's shared libraries at a guaranteed site: ldd when
    it works, per-name searches otherwise. *)
 let dependency_paths ?clock site env ~path ~needed =
+  Feam_obs.Trace.with_span "bdc.dependency_paths" @@ fun () ->
   match Feam_dynlinker.Ldd.run ?clock site env path with
   | Ok resolution ->
     let from_ldd =
@@ -174,6 +204,9 @@ let dependency_paths ?clock site env ~path ~needed =
    describe the binary, then copy and describe every shared library in
    its dependency closure except the C library. *)
 let gather_source ?clock site env ~path =
+  Feam_obs.Trace.with_span "bdc.gather_source"
+    ~attrs:[ ("path", Feam_obs.Span.Str path) ]
+  @@ fun () ->
   match describe ?clock site env ~path with
   | Error e -> Error e
   | Ok binary_description ->
@@ -195,6 +228,12 @@ let gather_source ?clock site env ~path =
                 (Cost.copy_per_mb *. (float_of_int declared_size /. 1048576.0));
               match describe ?clock site env ~path:origin with
               | Ok copy_description ->
+                Feam_obs.Trace.event "copy"
+                  ~attrs:
+                    [
+                      ("library", Feam_obs.Span.Str name);
+                      ("origin", Feam_obs.Span.Str origin);
+                    ];
                 copies :=
                   {
                     copy_request = name;
@@ -207,6 +246,11 @@ let gather_source ?clock site env ~path =
               | Error _ -> unlocatable := name :: !unlocatable)
             | _ -> unlocatable := name :: !unlocatable))
       deps;
+    Feam_obs.Metrics.incr ~by:(List.length !copies) "bdc.library_copies";
+    Feam_obs.Metrics.incr ~by:(List.length !unlocatable) "bdc.unlocatable";
+    Feam_obs.Trace.set_attr "copies" (Feam_obs.Span.Int (List.length !copies));
+    Feam_obs.Trace.set_attr "unlocatable"
+      (Feam_obs.Span.Int (List.length !unlocatable));
     Ok
       {
         binary_description;

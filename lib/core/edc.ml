@@ -154,14 +154,34 @@ let missing_libraries ?clock site env ~binary_path ~needed =
 (* -- Full discovery -------------------------------------------------------- *)
 
 let discover ?clock ~env_type site env =
-  let machine = discover_isa ?clock site in
+  let env_label =
+    match env_type with `Guaranteed -> "guaranteed" | `Target -> "target"
+  in
+  Feam_obs.Trace.with_span "edc.discover"
+    ~attrs:
+      [
+        ("site", Feam_obs.Span.Str (Site.name site));
+        ("env", Feam_obs.Span.Str env_label);
+      ]
+  @@ fun () ->
+  let sub name f = Feam_obs.Trace.with_span name f in
+  let machine = sub "edc.isa" (fun () -> discover_isa ?clock site) in
+  let os = sub "edc.os" (fun () -> discover_os ?clock site) in
+  let kernel = sub "edc.kernel" (fun () -> discover_kernel ?clock site) in
+  let glibc = sub "edc.glibc" (fun () -> discover_glibc ?clock site) in
+  let stacks = sub "edc.stacks" (fun () -> discover_stacks ?clock site) in
+  let current_stack =
+    sub "edc.current_stack" (fun () -> discover_current_stack ?clock site env)
+  in
+  Feam_obs.Metrics.incr "edc.discoveries" ~labels:[ ("env", env_label) ];
+  Feam_obs.Trace.set_attr "stacks" (Feam_obs.Span.Int (List.length stacks));
   {
     Discovery.env_type;
     machine;
     elf_class = Option.map Feam_elf.Types.machine_class machine;
-    os = discover_os ?clock site;
-    kernel = discover_kernel ?clock site;
-    glibc = discover_glibc ?clock site;
-    stacks = discover_stacks ?clock site;
-    current_stack = discover_current_stack ?clock site env;
+    os;
+    kernel;
+    glibc;
+    stacks;
+    current_stack;
   }

@@ -17,8 +17,31 @@ let staging_binary_dir = "/tmp/feam/binary"
 (* -- Source phase --------------------------------------------------------- *)
 
 let source_phase ?clock _config site env ~binary_path =
+  Feam_obs.Trace.with_span "phases.source"
+    ~attrs:
+      [
+        ("site", Feam_obs.Span.Str (Site.name site));
+        ("binary", Feam_obs.Span.Str binary_path);
+      ]
+  @@ fun () ->
+  let sim_before =
+    match clock with Some c -> Feam_util.Sim_clock.elapsed c | None -> 0.0
+  in
+  let finish result =
+    (match clock with
+    | Some c ->
+      Feam_obs.Trace.set_attr "sim_s"
+        (Feam_obs.Span.Float (Feam_util.Sim_clock.elapsed c -. sim_before))
+    | None -> ());
+    Feam_obs.Metrics.incr "phases.source"
+      ~labels:
+        [ ("result", match result with Ok _ -> "ok" | Error _ -> "error") ];
+    result
+  in
   Log.info (fun m ->
       m "source phase at %s for %s" (Site.name site) binary_path);
+  finish
+  @@
   match Bdc.gather_source ?clock site env ~path:binary_path with
   | Error e -> Error ("source phase: " ^ e)
   | Ok gathered ->
@@ -115,6 +138,29 @@ let source_phase ?clock _config site env ~binary_path =
    bundle carrying the binary bytes, the binary is materialized at the
    target automatically. *)
 let target_phase ?clock config site env ?bundle ?binary_path () =
+  Feam_obs.Trace.with_span "phases.target"
+    ~attrs:
+      [
+        ("site", Feam_obs.Span.Str (Site.name site));
+        ("extended", Feam_obs.Span.Bool (bundle <> None));
+      ]
+  @@ fun () ->
+  let sim_before =
+    match clock with Some c -> Feam_util.Sim_clock.elapsed c | None -> 0.0
+  in
+  let finish result =
+    (match clock with
+    | Some c ->
+      Feam_obs.Trace.set_attr "sim_s"
+        (Feam_obs.Span.Float (Feam_util.Sim_clock.elapsed c -. sim_before))
+    | None -> ());
+    Feam_obs.Metrics.incr "phases.target"
+      ~labels:
+        [ ("result", match result with Ok _ -> "ok" | Error _ -> "error") ];
+    result
+  in
+  finish
+  @@
   let vfs = Site.vfs site in
   (* Make the binary available at the target if the bundle carries it. *)
   let binary_path =

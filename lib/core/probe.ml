@@ -68,6 +68,7 @@ let resolve_probe_env ?clock config site env ~bundle ~target_glibc bytes =
    compiler runtime present on disk but absent from a stale loader
    cache). *)
 let native ?clock ?bundle ?target_glibc config site env install : probe_result =
+  Feam_obs.Trace.with_span "probe.native" @@ fun () ->
   (* [target_glibc] is the discovered C-library version, when known *)
   if not (Site.tools site).Tools.c_compiler then
     Error "native compilation not possible"
@@ -94,6 +95,9 @@ let native ?clock ?bundle ?target_glibc config site env install : probe_result =
    bundle before the run, exactly as for the application itself. *)
 let foreign ?clock config site env install ~(bundle : Bundle.t) ~target_glibc
     (probe : Bundle.probe) : probe_result =
+  Feam_obs.Trace.with_span "probe.foreign"
+    ~attrs:[ ("probe", Feam_obs.Span.Str probe.Bundle.probe_name) ]
+  @@ fun () ->
   let env = Modules_tool.load_stack env install in
   let path = probe_dir ^ "/" ^ probe.Bundle.probe_name ^ ".shipped" in
   Vfs.add ~declared_size:probe.Bundle.probe_declared_size (Site.vfs site) path
@@ -113,6 +117,23 @@ let foreign ?clock config site env install ~(bundle : Bundle.t) ~target_glibc
    mere presence cannot be verified and we report that. *)
 let test_stack ?clock config site env install ~(bundle : Bundle.t option)
     ~target_glibc : probe_result =
+  Feam_obs.Trace.with_span "probe.test_stack"
+    ~attrs:
+      [ ("stack", Feam_obs.Span.Str (Stack_install.module_name install)) ]
+  @@ fun () ->
+  let record result =
+    (match result with
+    | Ok () ->
+      Feam_obs.Metrics.incr "edc.probe_successes";
+      Feam_obs.Trace.set_attr "result" (Feam_obs.Span.Str "ok")
+    | Error why ->
+      Feam_obs.Metrics.incr "edc.probe_failures";
+      Feam_obs.Trace.set_attr "result" (Feam_obs.Span.Str "failed");
+      Feam_obs.Trace.set_attr "failure" (Feam_obs.Span.Str why));
+    result
+  in
+  record
+  @@
   let native_result =
     if (Site.tools site).Tools.c_compiler then
       Some (native ?clock ?bundle ?target_glibc config site env install)

@@ -16,6 +16,12 @@ type rejection =
   | Copy_clib_incompatible of { copy_requires : Version.t; target_has : Version.t option }
   | Copy_dependency_unresolvable of string
 
+let rejection_slug = function
+  | No_copy_available -> "no_copy"
+  | Copy_wrong_isa -> "wrong_isa"
+  | Copy_clib_incompatible _ -> "clib_incompatible"
+  | Copy_dependency_unresolvable _ -> "dependency"
+
 let rejection_to_string = function
   | No_copy_available -> "no copy available in the bundle"
   | Copy_wrong_isa -> "copy was built for a different ISA"
@@ -48,6 +54,9 @@ let present_at_target site env name =
    bundle's copies. *)
 let resolve ?clock config site env ~(bundle : Bundle.t) ~target_glibc
     ~binary_machine ~binary_class ~missing =
+  Feam_obs.Trace.with_span "resolve.resolve"
+    ~attrs:[ ("missing", Feam_obs.Span.Int (List.length missing)) ]
+  @@ fun () ->
   let staging = config.Config.staging_dir in
   let vfs = Site.vfs site in
   (* Verdict memo; names currently being vetted are assumed usable so
@@ -122,13 +131,25 @@ let resolve ?clock config site env ~(bundle : Bundle.t) ~target_glibc
       (Vfs.Elf copy.Bdc.copy_bytes);
     Cost.charge clock
       (Cost.copy_per_mb *. (float_of_int copy.Bdc.copy_declared_size /. 1048576.0));
+    Feam_obs.Metrics.incr "resolve.libraries_copied";
+    Feam_obs.Trace.event "staged"
+      ~attrs:[ ("library", Feam_obs.Span.Str name) ];
     staged := (name, path) :: !staged
   in
   List.iter
     (fun name ->
       match vet name with
       | Ok copy -> stage_copy name copy
-      | Error r -> failed := (name, r) :: !failed)
+      | Error r ->
+        Feam_obs.Metrics.incr "resolve.failures"
+          ~labels:[ ("reason", rejection_slug r) ];
+        Feam_obs.Trace.event "rejected"
+          ~attrs:
+            [
+              ("library", Feam_obs.Span.Str name);
+              ("reason", Feam_obs.Span.Str (rejection_slug r));
+            ];
+        failed := (name, r) :: !failed)
     missing;
   (* Usable copies may themselves need staged dependencies that were not
      in [missing] (absent transitively); stage every vetted-usable copy
@@ -145,4 +166,6 @@ let resolve ?clock config site env ~(bundle : Bundle.t) ~target_glibc
   let env =
     if !staged <> [] then Env.prepend_path env "LD_LIBRARY_PATH" staging else env
   in
+  Feam_obs.Trace.set_attr "staged" (Feam_obs.Span.Int (List.length !staged));
+  Feam_obs.Trace.set_attr "failed" (Feam_obs.Span.Int (List.length !failed));
   { staged = List.rev !staged; failed = List.rev !failed; env }

@@ -118,11 +118,25 @@ let missing_libraries ?clock input site env =
     |> List.filter (fun name ->
            not (Resolve_model.present_at_target site env name))
 
-let evaluate ?clock site env (input : input) : Predict.t =
+let evaluate_inner ?clock site env (input : input) : Predict.t =
   let d = input.description in
   let disc = input.discovery in
-  let isa = isa_determinant d disc in
-  let clib = clib_determinant d disc in
+  let check name compatible f =
+    Feam_obs.Trace.with_span name @@ fun () ->
+    let r = f () in
+    Feam_obs.Trace.set_attr "compatible" (Feam_obs.Span.Bool (compatible r));
+    r
+  in
+  let isa =
+    check "predict.check.isa"
+      (fun c -> c.Predict.isa_compatible)
+      (fun () -> isa_determinant d disc)
+  in
+  let clib =
+    check "predict.check.clib"
+      (fun c -> c.Predict.clib_compatible)
+      (fun () -> clib_determinant d disc)
+  in
   if not (isa.Predict.isa_compatible && clib.Predict.clib_compatible) then
     (* Paper §V.C: only when ISA and C library are compatible do we
        proceed to the MPI stack and shared-library determinants. *)
@@ -155,22 +169,32 @@ let evaluate ?clock site env (input : input) : Predict.t =
     }
   else
     (* MPI stack determinant. *)
-    let candidates = candidate_stacks d disc in
-    let requested_impl = Option.map (fun i -> i.Mpi_ident.impl) d.Description.mpi in
-    let selection, probe_failures =
-      if requested_impl = None then (None, [])
-      else select_stack ?clock input site env candidates
-    in
-    let stack_check =
-      {
-        Predict.stack_compatible =
-          (requested_impl = None || selection <> None);
-        requested_impl;
-        candidates_found = List.map (fun c -> c.Discovery.slug) candidates;
-        functioning =
-          Option.map (fun (c, _) -> c.Discovery.slug) selection;
-        probe_failures;
-      }
+    let candidates, selection, stack_check =
+      Feam_obs.Trace.with_span "predict.check.stack" @@ fun () ->
+      let candidates = candidate_stacks d disc in
+      let requested_impl =
+        Option.map (fun i -> i.Mpi_ident.impl) d.Description.mpi
+      in
+      let selection, probe_failures =
+        if requested_impl = None then (None, [])
+        else select_stack ?clock input site env candidates
+      in
+      let stack_check =
+        {
+          Predict.stack_compatible =
+            (requested_impl = None || selection <> None);
+          requested_impl;
+          candidates_found = List.map (fun c -> c.Discovery.slug) candidates;
+          functioning =
+            Option.map (fun (c, _) -> c.Discovery.slug) selection;
+          probe_failures;
+        }
+      in
+      Feam_obs.Trace.set_attr "compatible"
+        (Feam_obs.Span.Bool stack_check.Predict.stack_compatible);
+      Feam_obs.Trace.set_attr "candidates"
+        (Feam_obs.Span.Int (List.length candidates));
+      (candidates, selection, stack_check)
     in
     if not stack_check.Predict.stack_compatible then
       let reason =
@@ -188,45 +212,53 @@ let evaluate ?clock site env (input : input) : Predict.t =
       }
     else
       (* Shared-library determinant, under the chosen stack's session. *)
-      let session_env =
-        match selection with
-        | Some (_, install) -> Modules_tool.load_stack env install
-        | None -> env
-      in
-      let missing = missing_libraries ?clock input site session_env in
-      if missing <> [] then
-        Log.info (fun m ->
-            m "missing shared libraries: %s" (String.concat ", " missing));
-      let resolution =
-        match (missing, input.bundle) with
-        | [], _ -> None
-        | _ :: _, Some bundle ->
-          Some
-            (Resolve_model.resolve ?clock input.config site session_env ~bundle
-               ~target_glibc:disc.Discovery.glibc
-               ~binary_machine:d.Description.machine
-               ~binary_class:d.Description.elf_class ~missing)
-        | _ :: _, None -> None
-      in
-      let resolved_by_copies, unresolved, final_env =
-        match resolution with
-        | None ->
-          ([], List.map (fun m -> (m, "no source-phase bundle available")) missing,
-           session_env)
-        | Some r ->
-          ( List.map fst r.Resolve_model.staged,
-            List.map
-              (fun (name, rej) -> (name, Resolve_model.rejection_to_string rej))
-              r.Resolve_model.failed,
-            r.Resolve_model.env )
-      in
-      let libs_check =
-        {
-          Predict.libs_compatible = unresolved = [];
-          missing;
-          resolved_by_copies;
-          unresolved;
-        }
+      let resolution, resolved_by_copies, libs_check, final_env =
+        Feam_obs.Trace.with_span "predict.check.libs" @@ fun () ->
+        let session_env =
+          match selection with
+          | Some (_, install) -> Modules_tool.load_stack env install
+          | None -> env
+        in
+        let missing = missing_libraries ?clock input site session_env in
+        if missing <> [] then
+          Log.info (fun m ->
+              m "missing shared libraries: %s" (String.concat ", " missing));
+        let resolution =
+          match (missing, input.bundle) with
+          | [], _ -> None
+          | _ :: _, Some bundle ->
+            Some
+              (Resolve_model.resolve ?clock input.config site session_env ~bundle
+                 ~target_glibc:disc.Discovery.glibc
+                 ~binary_machine:d.Description.machine
+                 ~binary_class:d.Description.elf_class ~missing)
+          | _ :: _, None -> None
+        in
+        let resolved_by_copies, unresolved, final_env =
+          match resolution with
+          | None ->
+            ([], List.map (fun m -> (m, "no source-phase bundle available")) missing,
+             session_env)
+          | Some r ->
+            ( List.map fst r.Resolve_model.staged,
+              List.map
+                (fun (name, rej) -> (name, Resolve_model.rejection_to_string rej))
+                r.Resolve_model.failed,
+              r.Resolve_model.env )
+        in
+        let libs_check =
+          {
+            Predict.libs_compatible = unresolved = [];
+            missing;
+            resolved_by_copies;
+            unresolved;
+          }
+        in
+        Feam_obs.Trace.set_attr "compatible"
+          (Feam_obs.Span.Bool libs_check.Predict.libs_compatible);
+        Feam_obs.Trace.set_attr "missing"
+          (Feam_obs.Span.Int (List.length missing));
+        (resolution, resolved_by_copies, libs_check, final_env)
       in
       let determinants =
         {
@@ -238,7 +270,7 @@ let evaluate ?clock site env (input : input) : Predict.t =
       in
       if libs_check.Predict.libs_compatible then
         let launcher =
-          match requested_impl with
+          match stack_check.Predict.requested_impl with
           | Some impl -> Config.launcher input.config impl
           | None -> ""
         in
@@ -260,8 +292,19 @@ let evaluate ?clock site env (input : input) : Predict.t =
         { Predict.verdict = Predict.Ready plan; determinants }
       else
         let reasons =
-          unresolved
+          libs_check.Predict.unresolved
           |> List.map (fun (name, why) ->
                  Printf.sprintf "missing shared library %s (%s)" name why)
         in
         { Predict.verdict = Predict.Not_ready reasons; determinants }
+
+let evaluate ?clock site env (input : input) : Predict.t =
+  Feam_obs.Trace.with_span "tec.evaluate"
+    ~attrs:
+      [ ("binary", Feam_obs.Span.Str input.description.Description.path) ]
+  @@ fun () ->
+  let t = evaluate_inner ?clock site env input in
+  let outcome = if Predict.is_ready t then "ready" else "not_ready" in
+  Feam_obs.Metrics.incr "predict.outcome" ~labels:[ ("result", outcome) ];
+  Feam_obs.Trace.set_attr "verdict" (Feam_obs.Span.Str outcome);
+  t

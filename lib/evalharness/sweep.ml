@@ -33,15 +33,39 @@ let paper_values =
     ("increase SPEC", 39.0);
   ]
 
-(* One full evaluation at a seed. *)
+(* One full evaluation at a seed, under an eval.sweep_seed span with
+   the headline metrics gauged into the observability registry — the
+   per-scenario breakdown the ad-hoc progress callbacks used to be the
+   only window into. *)
 let run_once ?on_progress seed =
+  Feam_obs.Trace.with_span "eval.sweep_seed"
+    ~attrs:[ ("seed", Feam_obs.Span.Int seed) ]
+  @@ fun () ->
   let params = { Params.default with Params.seed } in
-  let sites = Sites.build_all params in
+  let sites =
+    Feam_obs.Trace.with_span "eval.build_sites" (fun () ->
+        Sites.build_all params)
+  in
   let benchmarks = Npb.all @ Specmpi.all in
-  let binaries = Testset.build params sites benchmarks in
-  let migrations = Migrate.run_all params sites binaries in
+  let binaries =
+    Feam_obs.Trace.with_span "eval.build_testset" (fun () ->
+        Testset.build params sites benchmarks)
+  in
+  let migrations =
+    Feam_obs.Trace.with_span "eval.migrate_all" (fun () ->
+        Migrate.run_all params sites binaries)
+  in
+  Feam_obs.Metrics.incr "sweep.seeds_run";
   (match on_progress with Some f -> f seed | None -> ());
-  measure migrations
+  let metrics = measure migrations in
+  List.iter
+    (fun (name, value) ->
+      Feam_obs.Metrics.observe
+        ~labels:[ ("metric", name) ]
+        ~bounds:[| 20.0; 40.0; 60.0; 80.0; 100.0 |]
+        "sweep.headline_pct" value)
+    metrics;
+  metrics
 
 type aggregate = {
   metric : string;

@@ -1,6 +1,12 @@
 (* Phase timing and bundle-size measurement (paper §VI.C: both FEAM
    phases always completed in under five minutes, and a per-site bundle
-   of shared-library copies averaged about 45 MB). *)
+   of shared-library copies averaged about 45 MB).
+
+   The measurement itself is a thin wrapper over the observability
+   layer: each phase runs under an `eval.*` span via
+   {!Feam_obs.with_sim_phase}, which also feeds the shared
+   eval.phase_s{phase=...} histograms that
+   {!phase_breakdown_table} and the sweep report read back. *)
 
 open Feam_util
 open Feam_sysmodel
@@ -12,8 +18,17 @@ type phase_timing = {
   target_seconds : float;
 }
 
+let phase_metric = "eval.phase_s"
+
 (* Time FEAM's phases for one migration, on simulated wall clocks. *)
 let time_migration binary target =
+  Feam_obs.Trace.with_span "eval.migration"
+    ~attrs:
+      [
+        ("binary", Feam_obs.Span.Str binary.Testset.id);
+        ("target", Feam_obs.Span.Str (Site.name target));
+      ]
+  @@ fun () ->
   let config = Feam_core.Config.default in
   Vfs.remove_tree (Site.vfs target) "/tmp/feam";
   let source_clock = Sim_clock.create () in
@@ -23,10 +38,16 @@ let time_migration binary target =
       binary.Testset.install
   in
   let bundle =
+    Feam_obs.with_sim_phase ~name:"eval.source_phase" ~metric:phase_metric
+      ~phase:"source" source_clock
+    @@ fun () ->
     Feam_core.Phases.source_phase ~clock:source_clock config
       binary.Testset.home home_env ~binary_path:binary.Testset.home_path
   in
   let target_clock = Sim_clock.create () in
+  Feam_obs.with_sim_phase ~name:"eval.target_phase" ~metric:phase_metric
+    ~phase:"target" target_clock
+  @@ fun () ->
   (match bundle with
   | Ok bundle ->
     ignore
@@ -61,6 +82,34 @@ let sample_timings sites binaries =
              && Migrate.has_matching_impl binary t)
       |> List.map (fun t -> time_migration binary t))
     sample
+
+(* Per-phase breakdown, read back from the observability registry: one
+   row per phase the harness timed since the last reset, with the count
+   of runs over the paper's five-minute budget as its own column. *)
+let phase_breakdown_table () =
+  let row phase =
+    match
+      Feam_obs.Metrics.histogram_value phase_metric
+        ~labels:[ ("phase", phase) ]
+    with
+    | None -> [ phase; "0"; "-"; "-"; "0" ]
+    | Some h ->
+      let over_300s =
+        (* the overflow bucket of sim_seconds_bounds ends at 300 s *)
+        h.Feam_obs.Metrics.counts.(Array.length h.Feam_obs.Metrics.counts - 1)
+      in
+      [
+        phase;
+        string_of_int h.Feam_obs.Metrics.count;
+        Printf.sprintf "%.1f" (Feam_obs.Metrics.hist_mean h);
+        Printf.sprintf "%.1f" h.Feam_obs.Metrics.sum;
+        string_of_int over_300s;
+      ]
+  in
+  Table.make ~title:"FEAM phase breakdown (simulated seconds, via feam.obs)"
+    ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "Phase"; "Runs"; "Mean s"; "Total s"; "> 5 min" ]
+    [ row "source"; row "target" ]
 
 let max_seconds timings =
   List.fold_left

@@ -18,6 +18,11 @@ val sample_timings :
 
 val max_seconds : phase_timing list -> float
 
+(** Per-phase breakdown read back from the observability registry's
+    eval.phase_s histograms: runs, mean/total simulated seconds, and the
+    count of runs over the paper's five-minute budget. *)
+val phase_breakdown_table : unit -> Feam_util.Table.t
+
 (** Merged size of the source-phase bundles of every binary homed at a
     site — the quantity the paper reports averaging ~45 MB. *)
 val site_bundle_bytes : Testset.binary list -> Feam_sysmodel.Site.t -> int

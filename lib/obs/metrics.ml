@@ -1,0 +1,157 @@
+(* Process-global metrics registry: counters, gauges, and fixed-bucket
+   histograms, each addressed by a name plus optional labels
+   (e.g. predict.outcome{result=ready}).  Recording is always on — it is
+   cheap, changes no output, and lets `feam metrics` report on a run
+   that never configured a trace sink. *)
+
+type hist = {
+  bounds : float array; (* ascending upper bucket bounds *)
+  counts : int array;   (* length bounds + 1; the last is overflow *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type metric =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histogram of hist
+
+type entry = {
+  name : string;
+  labels : (string * string) list;
+  metric : metric;
+}
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let key name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+    let labels =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+    in
+    name ^ "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+(* Nanosecond-oriented defaults: 1us up to 10s, plus overflow. *)
+let default_bounds = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10 |]
+
+let find_or_add name labels make =
+  let k = key name labels in
+  match Hashtbl.find_opt registry k with
+  | Some e -> e.metric
+  | None ->
+    let metric = make () in
+    Hashtbl.add registry k { name; labels; metric };
+    metric
+
+let incr ?(by = 1) ?(labels = []) name =
+  match find_or_add name labels (fun () -> Counter (ref 0)) with
+  | Counter c -> c := !c + by
+  | Gauge _ | Histogram _ ->
+    invalid_arg ("Metrics.incr: " ^ name ^ " is not a counter")
+
+let set_gauge ?(labels = []) name v =
+  match find_or_add name labels (fun () -> Gauge (ref 0.0)) with
+  | Gauge g -> g := v
+  | Counter _ | Histogram _ ->
+    invalid_arg ("Metrics.set_gauge: " ^ name ^ " is not a gauge")
+
+(* [bounds] only takes effect when the histogram is first created. *)
+let observe ?(labels = []) ?(bounds = default_bounds) name v =
+  let make () =
+    Histogram
+      {
+        bounds;
+        counts = Array.make (Array.length bounds + 1) 0;
+        sum = 0.0;
+        count = 0;
+      }
+  in
+  match find_or_add name labels make with
+  | Histogram h ->
+    let rec bucket i =
+      if i >= Array.length h.bounds then i
+      else if v <= h.bounds.(i) then i
+      else bucket (i + 1)
+    in
+    let i = bucket 0 in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.sum <- h.sum +. v;
+    h.count <- h.count + 1
+  | Counter _ | Gauge _ ->
+    invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
+
+let counter_value ?(labels = []) name =
+  match Hashtbl.find_opt registry (key name labels) with
+  | Some { metric = Counter c; _ } -> Some !c
+  | _ -> None
+
+let histogram_value ?(labels = []) name =
+  match Hashtbl.find_opt registry (key name labels) with
+  | Some { metric = Histogram h; _ } -> Some h
+  | _ -> None
+
+let hist_mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+let reset () = Hashtbl.reset registry
+
+(* Entries in stable (key-sorted) order, for rendering and tests. *)
+let snapshot () =
+  Hashtbl.fold (fun k e acc -> (k, e) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let value_to_string = function
+  | Counter c -> string_of_int !c
+  | Gauge g -> Printf.sprintf "%g" !g
+  | Histogram h ->
+    Printf.sprintf "n=%d mean=%g sum=%g" h.count (hist_mean h) h.sum
+
+let kind_to_string = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let render_text () =
+  let rows =
+    List.map
+      (fun (k, e) -> [ k; kind_to_string e.metric; value_to_string e.metric ])
+      (snapshot ())
+  in
+  Feam_util.Table.render
+    (Feam_util.Table.make ~title:"feam metrics"
+       ~aligns:[ Feam_util.Table.Left; Feam_util.Table.Left; Feam_util.Table.Right ]
+       ~header:[ "Metric"; "Kind"; "Value" ]
+       rows)
+
+let metric_to_json = function
+  | Counter c -> Feam_util.Json.Int !c
+  | Gauge g -> Feam_util.Json.Float !g
+  | Histogram h ->
+    let open Feam_util.Json in
+    Obj
+      [
+        ("count", Int h.count);
+        ("sum", Float h.sum);
+        ("mean", Float (hist_mean h));
+        ("bounds", List (Array.to_list (Array.map (fun b -> Float b) h.bounds)));
+        ("counts", List (Array.to_list (Array.map (fun c -> Int c) h.counts)));
+      ]
+
+let to_json () =
+  let open Feam_util.Json in
+  Obj
+    (List.map
+       (fun (k, e) ->
+         ( k,
+           Obj
+             [
+               ("name", Str e.name);
+               ( "labels",
+                 Obj (List.map (fun (lk, lv) -> (lk, Str lv)) e.labels) );
+               ("kind", Str (kind_to_string e.metric));
+               ("value", metric_to_json e.metric);
+             ] ))
+       (snapshot ()))

@@ -1,0 +1,117 @@
+(* Pluggable span consumers.  A sink receives every completed span
+   (children complete before their parents) and renders its output at
+   [flush]; flushing is idempotent — sinks clear what they have emitted
+   so a second flush (e.g. the at_exit safety net behind an early
+   [exit 1]) writes nothing twice. *)
+
+type t = {
+  on_span : Span.t -> unit;
+  flush : unit -> unit;
+}
+
+let noop = { on_span = (fun _ -> ()); flush = (fun () -> ()) }
+
+(* One JSON object per line, in completion order. *)
+let jsonl ~emit () =
+  let buf = Buffer.create 1024 in
+  {
+    on_span =
+      (fun span ->
+        Buffer.add_string buf (Feam_util.Json.render (Span.to_json span));
+        Buffer.add_char buf '\n');
+    flush =
+      (fun () ->
+        if Buffer.length buf > 0 then begin
+          let text = Buffer.contents buf in
+          Buffer.clear buf;
+          emit text
+        end);
+  }
+
+(* Spans in start order = ascending id (the tracer allocates ids when
+   spans open). *)
+let in_start_order spans =
+  List.sort (fun (a : Span.t) (b : Span.t) -> compare a.Span.id b.Span.id) spans
+
+(* Human-readable tree: indentation from span depth, one line per span. *)
+let pretty ~emit () =
+  let spans = ref [] in
+  {
+    on_span = (fun span -> spans := span :: !spans);
+    flush =
+      (fun () ->
+        match !spans with
+        | [] -> ()
+        | collected ->
+          spans := [];
+          let ordered = in_start_order collected in
+          let buf = Buffer.create 1024 in
+          Printf.bprintf buf "trace: %d span(s)\n" (List.length ordered);
+          List.iter
+            (fun (s : Span.t) ->
+              Printf.bprintf buf "  %*s%-28s %10s" (2 * s.Span.depth) ""
+                s.Span.name
+                (Span.duration_to_string s.Span.duration_ns);
+              List.iter
+                (fun (k, v) ->
+                  let rendered =
+                    match v with
+                    | Span.Str x -> x
+                    | Span.Int x -> string_of_int x
+                    | Span.Float x -> Printf.sprintf "%g" x
+                    | Span.Bool x -> string_of_bool x
+                  in
+                  Printf.bprintf buf "  %s=%s" k rendered)
+                s.Span.attrs;
+              Buffer.add_char buf '\n')
+            ordered;
+          emit (Buffer.contents buf));
+  }
+
+(* Chrome trace_event JSON: load the file at chrome://tracing or
+   https://ui.perfetto.dev for a flame chart.  Complete ("X") events on
+   a single thread; nesting is implied by time containment, so ties are
+   broken parent-first (longer duration, then lower id). *)
+let chrome ~emit () =
+  let spans = ref [] in
+  {
+    on_span = (fun span -> spans := span :: !spans);
+    flush =
+      (fun () ->
+        match !spans with
+        | [] -> ()
+        | collected ->
+          spans := [];
+          let ordered =
+            List.sort
+              (fun (a : Span.t) (b : Span.t) ->
+                match compare a.Span.start_ns b.Span.start_ns with
+                | 0 -> (
+                  match compare b.Span.duration_ns a.Span.duration_ns with
+                  | 0 -> compare a.Span.id b.Span.id
+                  | c -> c)
+                | c -> c)
+              collected
+          in
+          let open Feam_util.Json in
+          let event (s : Span.t) =
+            Obj
+              [
+                ("name", Str s.Span.name);
+                ("cat", Str "feam");
+                ("ph", Str "X");
+                ("ts", Float (Int64.to_float s.Span.start_ns /. 1e3));
+                ("dur", Float (Int64.to_float s.Span.duration_ns /. 1e3));
+                ("pid", Int 1);
+                ("tid", Int 1);
+                ("args", Span.attrs_to_json s.Span.attrs);
+              ]
+          in
+          emit
+            (render
+               (Obj
+                  [
+                    ("traceEvents", List (List.map event ordered));
+                    ("displayTimeUnit", Str "ms");
+                  ])));
+  }

@@ -1,0 +1,65 @@
+(* A span: one timed, named step of the pipeline, with attributes and
+   point-in-time events, forming a tree via parent ids.  Spans are
+   mutable while open (the tracer fills duration/attrs/events) and are
+   handed to the sink exactly once, at completion. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type event = {
+  ev_name : string;
+  ev_at_ns : int64;
+  ev_attrs : (string * value) list;
+}
+
+type t = {
+  id : int;
+  parent : int option;
+  depth : int;
+  name : string;
+  start_ns : int64;
+  mutable duration_ns : int64;
+  mutable attrs : (string * value) list;
+  mutable events : event list;
+}
+
+let value_to_json = function
+  | Str s -> Feam_util.Json.Str s
+  | Int i -> Feam_util.Json.Int i
+  | Float f -> Feam_util.Json.Float f
+  | Bool b -> Feam_util.Json.Bool b
+
+let attrs_to_json attrs =
+  Feam_util.Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) attrs)
+
+let event_to_json e =
+  let open Feam_util.Json in
+  Obj
+    [
+      ("name", Str e.ev_name);
+      ("at_ns", Int (Int64.to_int e.ev_at_ns));
+      ("attrs", attrs_to_json e.ev_attrs);
+    ]
+
+(* One JSONL record per span: the schema the golden test pins down. *)
+let to_json span =
+  let open Feam_util.Json in
+  Obj
+    [
+      ("type", Str "span");
+      ("id", Int span.id);
+      ("parent", (match span.parent with Some p -> Int p | None -> Null));
+      ("depth", Int span.depth);
+      ("name", Str span.name);
+      ("start_ns", Int (Int64.to_int span.start_ns));
+      ("dur_ns", Int (Int64.to_int span.duration_ns));
+      ("attrs", attrs_to_json span.attrs);
+      ("events", List (List.map event_to_json span.events));
+    ]
+
+(* "1.2ms"-style durations for the human-readable sink. *)
+let duration_to_string ns =
+  let ns = Int64.to_float ns in
+  if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.1fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)

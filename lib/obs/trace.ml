@@ -1,0 +1,93 @@
+(* The tracer: hierarchical spans over an injectable clock, with
+   completed spans handed to the configured sink.
+
+   Disabled (the default) the tracer is a strict no-op: [with_span]
+   runs its thunk directly without allocating, so instrumentation left
+   in the hot paths costs nothing and changes no golden output. *)
+
+type state = {
+  mutable enabled : bool;
+  mutable sink : Sink.t;
+  mutable clock : Clock.t;
+  mutable next_id : int;
+  mutable stack : Span.t list; (* innermost open span first *)
+}
+
+let st =
+  {
+    enabled = false;
+    sink = Sink.noop;
+    clock = Clock.fixed ();
+    next_id = 1;
+    stack = [];
+  }
+
+let configure ?(clock = Clock.fixed ()) sink =
+  st.enabled <- true;
+  st.sink <- sink;
+  st.clock <- clock;
+  st.next_id <- 1;
+  st.stack <- []
+
+let disable () =
+  st.enabled <- false;
+  st.sink <- Sink.noop;
+  st.next_id <- 1;
+  st.stack <- []
+
+let enabled () = st.enabled
+
+let now_ns () = st.clock ()
+
+(* Attach an attribute to the innermost open span (no-op outside one). *)
+let set_attr key value =
+  match st.stack with
+  | [] -> ()
+  | span :: _ -> span.Span.attrs <- (key, value) :: span.Span.attrs
+
+(* Record a point-in-time event on the innermost open span. *)
+let event ?(attrs = []) name =
+  match st.stack with
+  | [] -> ()
+  | span :: _ ->
+    span.Span.events <-
+      { Span.ev_name = name; ev_at_ns = st.clock (); ev_attrs = attrs }
+      :: span.Span.events
+
+let with_span ?attrs name f =
+  if not st.enabled then f ()
+  else begin
+    let parent, depth =
+      match st.stack with
+      | [] -> (None, 0)
+      | p :: _ -> (Some p.Span.id, p.Span.depth + 1)
+    in
+    let span =
+      {
+        Span.id = st.next_id;
+        parent;
+        depth;
+        name;
+        start_ns = st.clock ();
+        duration_ns = 0L;
+        (* attrs accumulate reversed while open; completion restores
+           declaration order below *)
+        attrs = (match attrs with None -> [] | Some a -> List.rev a);
+        events = [];
+      }
+    in
+    st.next_id <- st.next_id + 1;
+    st.stack <- span :: st.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match st.stack with
+        | s :: rest when s == span -> st.stack <- rest
+        | _ -> ());
+        span.Span.duration_ns <- Int64.sub (st.clock ()) span.Span.start_ns;
+        span.Span.attrs <- List.rev span.Span.attrs;
+        span.Span.events <- List.rev span.Span.events;
+        st.sink.Sink.on_span span)
+      f
+  end
+
+let flush () = st.sink.Sink.flush ()

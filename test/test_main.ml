@@ -43,4 +43,5 @@ let () =
       Test_static.suite;
       Test_soundness.suite;
       Test_ablation.suite;
+      Test_obs.suite;
     ]
