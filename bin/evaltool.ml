@@ -41,6 +41,8 @@ let run_eval seed verbose =
     stats.Resolution_impact.missing_lib_failures
     stats.Resolution_impact.failures_before
     stats.Resolution_impact.missing_lib_fixed;
+  Feam_util.Table.print (Tables.symbol_impact sites binaries);
+  Fmt.pr "@.";
   Feam_util.Table.print (Matrix.table (Matrix.build sites migrations));
   Fmt.pr "@.";
   Feam_util.Table.print (Effort.table migrations);

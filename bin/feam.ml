@@ -278,11 +278,21 @@ let cmd_discover debug trace trace_out scenario_name site =
   Fmt.pr "%a@." Feam_core.Discovery.pp d;
   Feam_obs.flush ()
 
+(* The symbol-level subset of the rule registry, run by `feam symcheck`
+   and `feam predict --symbols`. *)
+let symbol_rule_ids =
+  [ "symbol-unresolved"; "symbol-interposed"; "soname-major-unsound" ]
+
+let symbol_rules () =
+  List.filter
+    (fun r -> List.mem r.Feam_analysis.Rule.id symbol_rule_ids)
+    (Feam_analysis.Registry.all ())
+
 (* The full prediction pipeline over a scenario — source phase at the
    home site, target phase (with optional lint findings) at the target —
    shared by `feam predict` and `feam metrics`. *)
-let run_predict_pipeline ?(announce_source = true) scenario_name from_site
-    to_site binary basic_only lint =
+let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
+    scenario_name from_site to_site binary basic_only lint =
   let scenario = load_scenario scenario_name in
   let home =
     require_site scenario
@@ -346,24 +356,30 @@ let run_predict_pipeline ?(announce_source = true) scenario_name from_site
     match result with
     | Error _ -> result
     | Ok report -> (
-      (* the static-analysis layer feeding predict: findings ride the report *)
-      match (lint, !linted_bundle) with
+      (* the static-analysis layer feeding predict: findings ride the
+         report — the whole rule set under --lint, the symbol-closure
+         subset under --symbols alone *)
+      match (lint || symbols, !linted_bundle) with
       | true, Some bundle ->
         let ctx =
           Feam_analysis.Context.of_bundle
             ~target:(Feam_analysis.Context.target_of_site target) bundle
         in
-        Ok (Feam_core.Report.with_findings report (Feam_analysis.Engine.run ctx))
+        let rules = if lint then None else Some (symbol_rules ()) in
+        Ok
+          (Feam_core.Report.with_findings report
+             (Feam_analysis.Engine.run ?rules ctx))
       | _ -> Ok report)
   in
   (result, clock)
 
 let cmd_predict debug trace trace_out scenario_name from_site to_site binary
-    basic_only json lint =
+    basic_only json lint symbols =
   setup_logs debug;
   setup_obs trace trace_out;
   let result, clock =
-    run_predict_pipeline scenario_name from_site to_site binary basic_only lint
+    run_predict_pipeline ~symbols scenario_name from_site to_site binary
+      basic_only lint
   in
   (match result with
   | Ok report ->
@@ -475,7 +491,10 @@ let cmd_lint debug trace trace_out scenario_name site binary bundle_file
         (Feam_analysis.Registry.all ())
     in
     Table.print
-      (Table.make ~title:"feam lint rules" ~header:[ "Rule"; "Level"; "Checks" ] rows)
+      (Table.make ~title:"feam lint rules" ~header:[ "Rule"; "Level"; "Checks" ] rows);
+    print_string
+      "exit codes: 0 clean (info only), 1 warnings, 2 errors \
+       (--fail-on warn|error|never tunes the gate)\n"
   end
   else begin
     let bundle = lint_bundle scenario_name site binary bundle_file in
@@ -497,6 +516,78 @@ let cmd_lint debug trace trace_out scenario_name site binary bundle_file
     Feam_obs.flush ();
     exit gated
   end
+
+(* -- Symbol closure: `feam symcheck` ------------------------------------------ *)
+
+let cmd_symcheck debug trace trace_out scenario_name site binary bundle_file
+    target_site target_glibc json bind_log fail_on =
+  setup_logs debug;
+  setup_obs trace trace_out;
+  let module S = Feam_symcheck.Symcheck in
+  let bundle = lint_bundle scenario_name site binary bundle_file in
+  let target = lint_target scenario_name target_site target_glibc in
+  let ctx = Feam_analysis.Context.of_bundle ?target bundle in
+  let result = Feam_analysis.Symscope.result ctx in
+  let findings = Feam_analysis.Engine.run ~rules:(symbol_rules ()) ctx in
+  if json then begin
+    let scope_json =
+      Json.Obj
+        [
+          ( "scope",
+            Json.List
+              (List.map (fun m -> Json.Str m.S.mb_label) result.S.scope) );
+          ("complete", Json.Bool result.S.complete);
+          ("bound", Json.Int (List.length result.S.bindings));
+          ("unresolved_strong", Json.Int (List.length result.S.unresolved_strong));
+          ("unresolved_weak", Json.Int (List.length result.S.unresolved_weak));
+          ("interpositions", Json.Int (List.length result.S.interpositions));
+        ]
+    in
+    let report =
+      match Feam_analysis.Engine.to_json ctx findings with
+      | Json.Obj fields -> Json.Obj (fields @ [ ("symcheck", scope_json) ])
+      | other -> other
+    in
+    print_endline (Json.render report)
+  end
+  else begin
+    Fmt.pr "feam symcheck: %s@."
+      bundle.Feam_core.Bundle.binary_description.Feam_core.Description.path;
+    Fmt.pr "scope (%d objects, load order): %s@."
+      (List.length result.S.scope)
+      (String.concat ", " (List.map (fun m -> m.S.mb_label) result.S.scope));
+    Fmt.pr "scope %s; %d imports bound, %d unresolved strong, %d weak, %d interposed@."
+      (if result.S.complete then "complete"
+       else "incomplete (misses an absent object could explain are exempt)")
+      (List.length result.S.bindings)
+      (List.length result.S.unresolved_strong)
+      (List.length result.S.unresolved_weak)
+      (List.length result.S.interpositions);
+    if bind_log then
+      List.iter
+        (fun (b : S.binding) ->
+          Fmt.pr "  bind %s: %s -> %s [scope %d]@." b.S.bd_importer
+            (S.symbol_ref b.S.bd_symbol b.S.bd_version)
+            b.S.bd_provider b.S.bd_provider_pos)
+        result.S.bindings;
+    List.iter
+      (fun (f : Feam_core.Diagnose.finding) ->
+        Fmt.pr "%-5s %-21s %s: %s@."
+          (Feam_core.Diagnose.level_to_string f.Feam_core.Diagnose.level)
+          f.Feam_core.Diagnose.rule_id f.Feam_core.Diagnose.subject
+          f.Feam_core.Diagnose.message)
+      findings;
+    Fmt.pr "%s@." (Feam_analysis.Engine.summary findings)
+  end;
+  let code = Feam_analysis.Engine.exit_code findings in
+  let gated =
+    match fail_on with
+    | "never" -> 0
+    | "error" -> if code = 2 then 2 else 0
+    | _ -> code
+  in
+  Feam_obs.flush ();
+  exit gated
 
 let cmd_bundle debug scenario_name site binary out =
   setup_logs debug;
@@ -695,6 +786,15 @@ let predict_lint_arg =
         ~doc:"Run the static-analysis pass over the source-phase bundle and \
               attach its findings to the report.")
 
+let predict_symbols_arg =
+  Arg.(
+    value & flag
+    & info [ "symbols" ]
+        ~doc:"Run the symbol-closure rules (symbol-unresolved, \
+              symbol-interposed, soname-major-unsound) over the source-phase \
+              bundle and attach their findings to the report.  Implied by \
+              --lint, which runs the whole rule set.")
+
 let predict_cmd =
   Cmd.v
     (Cmd.info "predict"
@@ -702,7 +802,7 @@ let predict_cmd =
     Term.(
       const cmd_predict $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
       $ from_arg $ to_arg $ binary_arg $ basic_arg $ json_arg
-      $ predict_lint_arg)
+      $ predict_lint_arg $ predict_symbols_arg)
 
 let metrics_cmd =
   Cmd.v
@@ -766,6 +866,27 @@ let lint_cmd =
       $ lint_target_glibc_arg $ json_arg $ lint_list_rules_arg
       $ lint_fail_on_arg)
 
+let symcheck_bind_log_arg =
+  Arg.(
+    value & flag
+    & info [ "bind-log" ]
+        ~doc:"Print every successful symbol binding (importer, symbol, \
+              provider, scope position), not just the failures.")
+
+let symcheck_cmd =
+  Cmd.v
+    (Cmd.info "symcheck"
+       ~doc:"Simulate ld.so's symbol binding over a bundle's staged closure: \
+             unresolved strong/weak imports, per-symbol version-binding \
+             failures, interposition — and every edge where the soname-major \
+             heuristic accepts a closure the symbols refute.  Exits 0 clean \
+             / 1 warnings / 2 errors, like lint.")
+    Term.(
+      const cmd_symcheck $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
+      $ site_arg $ binary_arg $ lint_bundle_arg $ lint_target_arg
+      $ lint_target_glibc_arg $ json_arg $ symcheck_bind_log_arg
+      $ lint_fail_on_arg)
+
 let config_file_arg =
   Arg.(
     value & pos 0 string "-"
@@ -816,7 +937,7 @@ let main =
     (Cmd.info "feam" ~version:"1.0.0"
        ~doc:"Framework for Efficient Application Migration (simulated sites)")
     [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; metrics_cmd;
-      lint_cmd; config_check_cmd; bundle_cmd; inspect_bundle_cmd; advise_cmd;
-      rank_cmd; scenario_template_cmd ]
+      lint_cmd; symcheck_cmd; config_check_cmd; bundle_cmd; inspect_bundle_cmd;
+      advise_cmd; rank_cmd; scenario_template_cmd ]
 
 let () = exit (Cmd.eval main)

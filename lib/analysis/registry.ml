@@ -29,4 +29,7 @@ let () =
       Rule_stale.rule;
       Rule_missing.rule;
       Rule_soname_parse.rule;
+      Rule_symbol_unresolved.rule;
+      Rule_symbol_interposed.rule;
+      Rule_soname_unsound.rule;
     ]

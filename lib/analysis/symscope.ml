@@ -1,0 +1,42 @@
+(* Shared scope construction for the symbol-level rules: the root plus
+   the bundled copies ld.so would actually load, breadth-first over
+   DT_NEEDED — the staged closure as the resolution model stages it.
+   Probes never join the scope (they are separate executables), and the
+   C library is deliberately outside it: bundles never carry libc, so
+   its absence is ignored rather than held against completeness. *)
+
+open Feam_core
+
+let of_context (ctx : Context.t) =
+  let members = ref [] in
+  let added = Hashtbl.create 16 in
+  let add (o : Context.objekt) =
+    match o.Context.obj_spec with
+    | Some spec when not (Hashtbl.mem added o.Context.obj_label) ->
+      Hashtbl.add added o.Context.obj_label ();
+      members :=
+        { Feam_symcheck.Symcheck.mb_label = o.Context.obj_label; mb_spec = spec }
+        :: !members;
+      Some spec
+    | _ -> None
+  in
+  let seen = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let enqueue (spec : Feam_elf.Spec.t) =
+    List.iter (fun n -> Queue.add n queue) spec.Feam_elf.Spec.needed
+  in
+  (match add ctx.Context.root with Some s -> enqueue s | None -> ());
+  while not (Queue.is_empty queue) do
+    let name = Queue.pop queue in
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      if not (Bdc.is_c_library name) then
+        match Context.provider ctx name with
+        | Some o -> ( match add o with Some s -> enqueue s | None -> ())
+        | None -> ()
+    end
+  done;
+  List.rev !members
+
+let result ctx =
+  Feam_symcheck.Symcheck.run ~ignore_needed:Bdc.is_c_library (of_context ctx)

@@ -65,19 +65,23 @@ let render path (resolution : Resolve.t) =
     (fun vn ->
       List.iter
         (fun v ->
+          let consulted =
+            Resolve.consulted_provider resolution.Resolve.resolved
+              vn.Feam_elf.Spec.vn_file
+          in
           let satisfied =
             not
               (List.exists
                  (fun f ->
                    f.Resolve.vf_version = v
-                   && f.Resolve.vf_provider = vn.Feam_elf.Spec.vn_file)
+                   &&
+                   match consulted with
+                   | Some (_, r) -> f.Resolve.vf_provider = r.Resolve.lib_name
+                   | None -> f.Resolve.vf_provider = vn.Feam_elf.Spec.vn_file)
                  resolution.Resolve.version_failures)
           in
           let provider_path =
-            List.find_opt
-              (fun r -> r.Resolve.lib_name = vn.Feam_elf.Spec.vn_file)
-              resolution.Resolve.resolved
-            |> Option.map (fun r -> r.Resolve.lib_path)
+            Option.map (fun (_, r) -> r.Resolve.lib_path) consulted
           in
           match (satisfied, provider_path) with
           | true, Some p -> addf "\t\t%s (%s) => %s\n" vn.Feam_elf.Spec.vn_file v p

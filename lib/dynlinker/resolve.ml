@@ -12,7 +12,8 @@ type resolved_lib = {
 
 type version_failure = {
   vf_object : string;   (* object that required the version *)
-  vf_provider : string; (* library expected to define it *)
+  vf_provider : string; (* closure member consulted for the version *)
+  vf_scope_pos : int option; (* the provider's position in load order *)
   vf_version : string;  (* the version name, e.g. GLIBC_2.7 *)
 }
 
@@ -30,6 +31,20 @@ type t = {
 }
 
 let ok t = t.missing = [] && t.arch_mismatches = [] && t.version_failures = []
+
+(* The object ld.so would consult for versions required from [file]: the
+   first closure member, in load order, that was loaded under that name
+   or whose DT_SONAME claims it.  Shared with symcheck so that both
+   analyses agree on which object was consulted. *)
+let consulted_provider resolved file =
+  let rec go pos = function
+    | [] -> None
+    | r :: rest ->
+      if r.lib_name = file || r.lib_spec.Feam_elf.Spec.soname = Some file then
+        Some (pos, r)
+      else go (pos + 1) rest
+  in
+  go 0 resolved
 
 (* [run site env spec] resolves the dependency closure of an object whose
    parsed spec is [spec].  Each dependency is searched with the root
@@ -62,24 +77,24 @@ let run site env (root : Feam_elf.Spec.t) =
   List.iter (visit ~requester_dirs:[]) root.needed;
   let resolved = List.rev !resolved in
   (* Version-requirement check: every verneed of the root and of each
-     resolved library must be satisfied by the verdefs of the provider
-     actually loaded under that name. *)
-  let provider_defs name =
-    List.find_opt (fun r -> r.lib_name = name) resolved
-    |> Option.map (fun r -> r.lib_spec.Feam_elf.Spec.verdefs)
-  in
+     resolved library must be satisfied by the verdefs of the closure
+     member actually consulted for that name — the first in load order
+     loaded under the name or claiming it by soname, whose position is
+     recorded alongside the failure. *)
   let check_object obj_name (spec : Feam_elf.Spec.t) =
     List.concat_map
       (fun vn ->
-        match provider_defs vn.Feam_elf.Spec.vn_file with
+        match consulted_provider resolved vn.Feam_elf.Spec.vn_file with
         | None -> [] (* provider missing entirely: reported in [missing] *)
-        | Some defs ->
+        | Some (pos, provider) ->
+          let defs = provider.lib_spec.Feam_elf.Spec.verdefs in
           vn.Feam_elf.Spec.vn_versions
           |> List.filter (fun v -> not (List.mem v defs))
           |> List.map (fun v ->
                  {
                    vf_object = obj_name;
-                   vf_provider = vn.Feam_elf.Spec.vn_file;
+                   vf_provider = provider.lib_name;
+                   vf_scope_pos = Some pos;
                    vf_version = v;
                  }))
       spec.verneeds

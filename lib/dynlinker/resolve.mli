@@ -12,7 +12,10 @@ type resolved_lib = {
 
 type version_failure = {
   vf_object : string;  (** object that required the version *)
-  vf_provider : string;  (** library expected to define it *)
+  vf_provider : string;  (** closure member consulted for the version *)
+  vf_scope_pos : int option;
+      (** the provider's position in load order ([None] only for
+          failures constructed outside a live resolution) *)
   vf_version : string;  (** the version name, e.g. GLIBC_2.7 *)
 }
 
@@ -28,6 +31,14 @@ type t = {
 
 (** No missing libraries, architecture mismatches or version failures. *)
 val ok : t -> bool
+
+(** [consulted_provider resolved file] — the closure member ld.so would
+    consult for versions required from [file]: the first, in load order,
+    loaded under that name or claiming it by DT_SONAME, with its
+    position.  Shared by the version check and by symcheck so both agree
+    on the consulted object. *)
+val consulted_provider :
+  resolved_lib list -> string -> (int * resolved_lib) option
 
 (** Resolve the dependency closure of an object under the given
     environment at the given site. *)

@@ -2,9 +2,9 @@
 
    Layout: ELF header, program header table (PT_INTERP when the spec
    names a loader, PT_LOAD covering the image, PT_DYNAMIC), then section
-   contents in a fixed order (.interp, .note.ABI-tag, .dynstr,
-   .gnu.version_r, .gnu.version_d, .dynamic, .comment, .shstrtab), then
-   the section header table.  Allocated sections get virtual addresses
+   contents in a fixed order (.interp, .note.ABI-tag, .dynstr, .dynsym,
+   .gnu.version, .gnu.version_r, .gnu.version_d, .dynamic, .comment,
+   .shstrtab), then the section header table.  Allocated sections get virtual addresses
    at [image_base + file offset] so that DT_STRTAB / DT_VERNEED hold
    resolvable addresses. *)
 
@@ -54,6 +54,8 @@ let shentsize = function Types.C32 -> 40 | Types.C64 -> 64
 let phentsize = function Types.C32 -> 32 | Types.C64 -> 56
 
 let dyn_entry_size = function Types.C32 -> 8 | Types.C64 -> 16
+
+let sym_entry_size = function Types.C32 -> 16 | Types.C64 -> 24
 
 (* .note.ABI-tag body: 4-byte name "GNU\0", 16-byte desc
    (os = 0 Linux, then the minimum kernel version triple). *)
@@ -118,11 +120,83 @@ let verdef_body endian dynstr verdefs =
     verdefs;
   Codec.Writer.contents w
 
+(* .dynsym body: the mandatory null entry at index 0, then one entry per
+   symbol.  Defined symbols get SHN_ABS (the framework never models
+   addresses), undefined ones SHN_UNDEF; st_info carries the binding in
+   its high nibble with STT_FUNC below. *)
+let symtab_body cls endian dynstr (dynsyms : Spec.dynsym list) =
+  let w = Codec.Writer.create endian in
+  let entry ~name_off ~info ~shndx =
+    match cls with
+    | Types.C64 ->
+      Codec.Writer.u32 w name_off;
+      Codec.Writer.u8 w info;
+      Codec.Writer.u8 w 0 (* st_other *);
+      Codec.Writer.u16 w shndx;
+      Codec.Writer.u64 w 0 (* st_value *);
+      Codec.Writer.u64 w 0 (* st_size *)
+    | Types.C32 ->
+      Codec.Writer.u32 w name_off;
+      Codec.Writer.u32 w 0 (* st_value *);
+      Codec.Writer.u32 w 0 (* st_size *);
+      Codec.Writer.u8 w info;
+      Codec.Writer.u8 w 0 (* st_other *);
+      Codec.Writer.u16 w shndx
+  in
+  entry ~name_off:0 ~info:0 ~shndx:0;
+  List.iter
+    (fun (s : Spec.dynsym) ->
+      let binding =
+        match s.Spec.sym_binding with
+        | Spec.Global -> Types.Stb.global
+        | Spec.Weak -> Types.Stb.weak
+      in
+      entry
+        ~name_off:(Strtab.add dynstr s.Spec.sym_name)
+        ~info:((binding lsl 4) lor 2 (* STT_FUNC *))
+        ~shndx:(if s.Spec.sym_defined then Types.Shn.abs else Types.Shn.undef))
+    dynsyms;
+  Codec.Writer.contents w
+
+(* .gnu.version body: one u16 version index per .dynsym entry including
+   the null entry (index 0).  Undefined symbols bind to verneed indices
+   (vna_other numbering: 2 + flattened position), defined symbols to
+   verdef indices (vd_ndx = position + 1); unversioned symbols get 1
+   (VER_NDX_GLOBAL). *)
+let versym_body endian (spec : Spec.t) =
+  let need_index =
+    let next = ref 2 in
+    List.concat_map
+      (fun vn ->
+        List.map
+          (fun v ->
+            let i = !next in
+            incr next;
+            (v, i))
+          vn.Spec.vn_versions)
+      spec.Spec.verneeds
+  in
+  let def_index = List.mapi (fun i v -> (v, i + 1)) spec.Spec.verdefs in
+  let w = Codec.Writer.create endian in
+  Codec.Writer.u16 w 0;
+  List.iter
+    (fun (s : Spec.dynsym) ->
+      let ndx =
+        match s.Spec.sym_version with
+        | None -> 1
+        | Some v -> (
+          let table = if s.Spec.sym_defined then def_index else need_index in
+          match List.assoc_opt v table with Some i -> i | None -> 1)
+      in
+      Codec.Writer.u16 w ndx)
+    spec.Spec.dynsyms;
+  Codec.Writer.contents w
+
 let comment_body comments =
   String.concat "" (List.map (fun c -> c ^ "\000") comments)
 
-let dynamic_body spec cls endian dynstr ~dynstr_addr ~dynstr_size ~verneed_addr
-    ~verdef_addr =
+let dynamic_body spec cls endian dynstr ~dynstr_addr ~dynstr_size ~symtab_addr
+    ~versym_addr ~verneed_addr ~verdef_addr =
   let w = Codec.Writer.create endian in
   let entry tag value =
     Codec.Writer.word w cls tag;
@@ -134,6 +208,14 @@ let dynamic_body spec cls endian dynstr ~dynstr_addr ~dynstr_size ~verneed_addr
   Option.iter (fun s -> entry Types.Dt.runpath (Strtab.add dynstr s)) spec.Spec.runpath;
   entry Types.Dt.strtab dynstr_addr;
   entry Types.Dt.strsz dynstr_size;
+  (match symtab_addr with
+  | Some addr ->
+    entry Types.Dt.symtab addr;
+    entry Types.Dt.syment (sym_entry_size cls)
+  | None -> ());
+  (match versym_addr with
+  | Some addr -> entry Types.Dt.versym addr
+  | None -> ());
   (match verneed_addr with
   | Some addr ->
     entry Types.Dt.verneed addr;
@@ -159,18 +241,22 @@ let build (spec : Spec.t) : string =
   Option.iter (fun s -> ignore (Strtab.add dynstr s)) spec.soname;
   Option.iter (fun s -> ignore (Strtab.add dynstr s)) spec.rpath;
   Option.iter (fun s -> ignore (Strtab.add dynstr s)) spec.runpath;
+  let symtab =
+    if spec.dynsyms = [] then "" else symtab_body cls endian dynstr spec.dynsyms
+  in
   let verneed = verneed_body endian dynstr spec.verneeds in
   let verdef = verdef_body endian dynstr spec.verdefs in
   let dynstr_body = Strtab.contents dynstr in
 
   (* Dynamic entry count: needed + optional singletons + strtab/strsz +
-     version entries + null terminator. *)
+     symbol-table entries + version entries + null terminator. *)
   let dyn_entries =
     List.length spec.needed
     + (match spec.soname with Some _ -> 1 | None -> 0)
     + (match spec.rpath with Some _ -> 1 | None -> 0)
     + (match spec.runpath with Some _ -> 1 | None -> 0)
     + 2 (* strtab, strsz *)
+    + (if spec.dynsyms = [] then 0 else 3) (* symtab, syment, versym *)
     + (if spec.verneeds = [] then 0 else 2)
     + (if spec.verdefs = [] then 0 else 2)
     + 1 (* null *)
@@ -196,6 +282,13 @@ let build (spec : Spec.t) : string =
   in
   let note_off = Option.map (fun b -> place (String.length b)) note in
   let dynstr_off = place (String.length dynstr_body) in
+  let symtab_off =
+    if spec.dynsyms = [] then None else Some (place (String.length symtab))
+  in
+  let versym = if spec.dynsyms = [] then "" else versym_body endian spec in
+  let versym_off =
+    if spec.dynsyms = [] then None else Some (place (String.length versym))
+  in
   let verneed_off = if spec.verneeds = [] then None else Some (place (String.length verneed)) in
   let verdef_off = if spec.verdefs = [] then None else Some (place (String.length verdef)) in
   let dynamic_off = place dynamic_size in
@@ -206,6 +299,8 @@ let build (spec : Spec.t) : string =
   let dynamic =
     dynamic_body spec cls endian dynstr ~dynstr_addr:(addr_of dynstr_off)
       ~dynstr_size:(String.length dynstr_body)
+      ~symtab_addr:(Option.map addr_of symtab_off)
+      ~versym_addr:(Option.map addr_of versym_off)
       ~verneed_addr:(Option.map addr_of verneed_off)
       ~verdef_addr:(Option.map addr_of verdef_off)
   in
@@ -261,6 +356,16 @@ let build (spec : Spec.t) : string =
   let dynstr_idx = !idx in
   section ~flags:shf_alloc ~allocated:true ".dynstr" Types.Sht.strtab dynstr_body;
   incr idx;
+  if spec.dynsyms <> [] then begin
+    let dynsym_idx = !idx in
+    section ~flags:shf_alloc ~link:dynstr_idx ~info:1
+      ~entsize:(sym_entry_size cls) ~allocated:true ".dynsym" Types.Sht.dynsym
+      symtab;
+    incr idx;
+    section ~flags:shf_alloc ~link:dynsym_idx ~entsize:2 ~align:2
+      ~allocated:true ".gnu.version" Types.Sht.gnu_versym versym;
+    incr idx
+  end;
   if spec.verneeds <> [] then begin
     section ~flags:shf_alloc ~link:dynstr_idx ~info:(List.length spec.verneeds)
       ~allocated:true ".gnu.version_r" Types.Sht.gnu_verneed verneed;
@@ -310,6 +415,8 @@ let build (spec : Spec.t) : string =
       | ".interp" -> assert (Some off = interp_off)
       | ".note.ABI-tag" -> assert (Some off = note_off)
       | ".dynstr" -> assert (off = dynstr_off)
+      | ".dynsym" -> assert (Some off = symtab_off)
+      | ".gnu.version" -> assert (Some off = versym_off)
       | ".gnu.version_r" -> assert (Some off = verneed_off)
       | ".gnu.version_d" -> assert (Some off = verdef_off)
       | ".dynamic" -> assert (off = dynamic_off)

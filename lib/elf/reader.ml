@@ -30,6 +30,7 @@ type section = {
 type t = {
   spec : Spec.t;
   sections : section list;
+  by_name : (string, section) Hashtbl.t; (* memoized name lookup *)
   size : int; (* image size in bytes *)
 }
 
@@ -37,7 +38,17 @@ let spec t = t.spec
 let sections t = t.sections
 let size t = t.size
 
-let section_by_name t name = List.find_opt (fun s -> s.name = name) t.sections
+(* Built once at parse time; keeps the first section of each name, the
+   same answer [List.find_opt] would give.  Symcheck performs a name
+   lookup per symbol table per object, so the linear scan mattered. *)
+let index_sections sections =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s -> if not (Hashtbl.mem tbl s.name) then Hashtbl.add tbl s.name s)
+    sections;
+  tbl
+
+let section_by_name t name = Hashtbl.find_opt t.by_name name
 
 (* Split a NUL-separated blob into its strings, dropping empties. *)
 let split_nul blob =
@@ -149,6 +160,83 @@ let parse_verdef r section ~dynstr_off =
   in
   if section.sh_size = 0 then [] else records section.sh_offset []
 
+let sym_entry_size = function Types.C32 -> 16 | Types.C64 -> 24
+
+(* .dynsym entries (the index-0 null entry excluded), with versions
+   resolved through .gnu.version.  The version-index tables mirror the
+   builder's assignment: undefined symbols bind into the verneed
+   numbering (vna_other, 2 + flattened position), defined symbols into
+   the verdef numbering (vd_ndx = position + 1); which table applies is
+   decided by st_shndx, exactly as on the write side.  Out-of-range or
+   special (0 = local, 1 = global) indices degrade to an unversioned
+   symbol rather than failing the parse. *)
+let parse_dynsyms r cls sections ~dynstr_off ~verneeds ~verdefs dynsym_sec
+    versym_sec =
+  let entsize = sym_entry_size cls in
+  let n = dynsym_sec.sh_size / entsize in
+  let strtab_off =
+    if dynsym_sec.sh_link > 0 && dynsym_sec.sh_link < List.length sections then
+      (List.nth sections dynsym_sec.sh_link).sh_offset
+    else dynstr_off
+  in
+  let need_index =
+    let tbl = Hashtbl.create 16 in
+    let next = ref 2 in
+    List.iter
+      (fun vn ->
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem tbl !next) then Hashtbl.add tbl !next v;
+            incr next)
+          vn.Spec.vn_versions)
+      verneeds;
+    tbl
+  in
+  let def_index =
+    let tbl = Hashtbl.create 16 in
+    List.iteri
+      (fun i v -> if not (Hashtbl.mem tbl (i + 1)) then Hashtbl.add tbl (i + 1) v)
+      verdefs;
+    tbl
+  in
+  let versym_at i =
+    match versym_sec with
+    | None -> None
+    | Some vs ->
+      let off = 2 * i in
+      if off + 2 <= vs.sh_size then Some (Codec.Reader.u16 r (vs.sh_offset + off))
+      else None
+  in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let base = dynsym_sec.sh_offset + (i * entsize) in
+      let name_off = Codec.Reader.u32 r base in
+      let st_info, st_shndx =
+        match cls with
+        | Types.C64 ->
+          (Codec.Reader.u8 r (base + 4), Codec.Reader.u16 r (base + 6))
+        | Types.C32 ->
+          (Codec.Reader.u8 r (base + 12), Codec.Reader.u16 r (base + 14))
+      in
+      let sym_name = Codec.Reader.cstring r (strtab_off + name_off) in
+      let sym_defined = st_shndx <> Types.Shn.undef in
+      let sym_binding =
+        if st_info lsr 4 = Types.Stb.weak then Spec.Weak else Spec.Global
+      in
+      let sym_version =
+        match versym_at i with
+        | None -> None
+        | Some raw -> (
+          let ndx = raw land 0x7fff (* mask the VERSYM_HIDDEN bit *) in
+          if ndx <= 1 then None
+          else
+            Hashtbl.find_opt (if sym_defined then def_index else need_index) ndx)
+      in
+      go (i + 1) ({ Spec.sym_name; sym_defined; sym_binding; sym_version } :: acc)
+  in
+  if n <= 1 then [] else go 1 []
+
 (* Program headers: (p_type, p_offset, p_filesz) triples. *)
 let parse_program_headers r cls ~phoff ~phentsize ~phnum =
   List.init phnum (fun i ->
@@ -257,6 +345,13 @@ let parse (data : string) : (t, error) result =
       | Some s -> parse_verdef r s ~dynstr_off
       | None -> []
     in
+    let dynsyms =
+      match find_type Types.Sht.dynsym with
+      | Some s ->
+        parse_dynsyms r cls sections ~dynstr_off ~verneeds ~verdefs s
+          (find_type Types.Sht.gnu_versym)
+      | None -> []
+    in
     let comments =
       match find_name ".comment" with
       | Some s -> split_nul (Codec.Reader.sub r s.sh_offset s.sh_size)
@@ -269,9 +364,9 @@ let parse (data : string) : (t, error) result =
     in
     let spec =
       Spec.make ~file_type ?soname ~needed ?rpath ?runpath ~verneeds ~verdefs
-        ~comments ?abi_note ?interp ~elf_class:cls ~endian machine
+        ~dynsyms ~comments ?abi_note ?interp ~elf_class:cls ~endian machine
     in
-    Ok { spec; sections; size = String.length data }
+    Ok { spec; sections; by_name = index_sections sections; size = String.length data }
   with
   | Parse_error e -> Error e
   | Codec.Truncated what -> Error (Malformed ("truncated: " ^ what))

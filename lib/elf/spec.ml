@@ -9,6 +9,21 @@ type verneed = {
   vn_versions : string list; (* version names required from it *)
 }
 
+(* Dynamic-symbol binding: the high nibble of st_info.  Local symbols
+   never reach .dynsym in practice, so only the two external bindings
+   are modelled. *)
+type sym_binding = Global | Weak
+
+(* One .dynsym entry, with its .gnu.version association already resolved
+   to a version name (imports bind to a verneed version, exports to a
+   verdef; [None] means unversioned). *)
+type dynsym = {
+  sym_name : string;
+  sym_defined : bool;            (* st_shndx <> SHN_UNDEF *)
+  sym_binding : sym_binding;
+  sym_version : string option;
+}
+
 type t = {
   elf_class : Types.elf_class;
   endian : Types.endian;
@@ -20,14 +35,15 @@ type t = {
   runpath : string option;   (* DT_RUNPATH *)
   verneeds : verneed list;   (* .gnu.version_r *)
   verdefs : string list;     (* .gnu.version_d: version names defined by the object *)
+  dynsyms : dynsym list;     (* .dynsym entries (the index-0 null entry excluded) *)
   comments : string list;    (* .comment: toolchain provenance strings *)
   abi_note : (int * int * int) option; (* .note.ABI-tag: minimum kernel *)
   interp : string option;    (* PT_INTERP: the dynamic loader path *)
 }
 
 let make ?(file_type = Types.ET_EXEC) ?soname ?(needed = []) ?rpath ?runpath
-    ?(verneeds = []) ?(verdefs = []) ?(comments = []) ?abi_note ?interp
-    ?elf_class ?endian machine =
+    ?(verneeds = []) ?(verdefs = []) ?(dynsyms = []) ?(comments = [])
+    ?abi_note ?interp ?elf_class ?endian machine =
   let elf_class =
     match elf_class with Some c -> c | None -> Types.machine_class machine
   in
@@ -45,6 +61,7 @@ let make ?(file_type = Types.ET_EXEC) ?soname ?(needed = []) ?rpath ?runpath
     runpath;
     verneeds;
     verdefs;
+    dynsyms;
     comments;
     abi_note;
     interp;
@@ -52,13 +69,20 @@ let make ?(file_type = Types.ET_EXEC) ?soname ?(needed = []) ?rpath ?runpath
 
 let equal_verneed a b = a.vn_file = b.vn_file && a.vn_versions = b.vn_versions
 
+let equal_dynsym a b =
+  a.sym_name = b.sym_name && a.sym_defined = b.sym_defined
+  && a.sym_binding = b.sym_binding && a.sym_version = b.sym_version
+
 let equal a b =
   a.elf_class = b.elf_class && a.endian = b.endian && a.machine = b.machine
   && a.file_type = b.file_type && a.soname = b.soname && a.needed = b.needed
   && a.rpath = b.rpath && a.runpath = b.runpath
   && List.length a.verneeds = List.length b.verneeds
   && List.for_all2 equal_verneed a.verneeds b.verneeds
-  && a.verdefs = b.verdefs && a.comments = b.comments
+  && a.verdefs = b.verdefs
+  && List.length a.dynsyms = List.length b.dynsyms
+  && List.for_all2 equal_dynsym a.dynsyms b.dynsyms
+  && a.comments = b.comments
   && a.abi_note = b.abi_note && a.interp = b.interp
 
 (* All version names required from a given object, empty when none. *)
@@ -69,15 +93,31 @@ let versions_required_from t file =
 
 let is_shared_library t = t.soname <> None
 
+(* Undefined entries: what the object imports at link time. *)
+let imports t = List.filter (fun s -> not s.sym_defined) t.dynsyms
+
+(* Defined entries: what the object offers to the link scope. *)
+let exports t = List.filter (fun s -> s.sym_defined) t.dynsyms
+
+let binding_to_string = function Global -> "GLOBAL" | Weak -> "WEAK"
+
 let pp_verneed ppf vn =
   Fmt.pf ppf "@[<h>%s: %a@]" vn.vn_file
     Fmt.(list ~sep:(any ", ") string)
     vn.vn_versions
 
+let pp_dynsym ppf s =
+  Fmt.pf ppf "%s%s %s%s"
+    (if s.sym_defined then "" else "U ")
+    (binding_to_string s.sym_binding)
+    s.sym_name
+    (match s.sym_version with Some v -> "@" ^ v | None -> "")
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>class: %a@ endian: %a@ machine: %a@ type: %a@ soname: %a@ needed: \
-     %a@ rpath: %a@ runpath: %a@ verneeds: %a@ verdefs: %a@ comments: %a@]"
+     %a@ rpath: %a@ runpath: %a@ verneeds: %a@ verdefs: %a@ dynsyms: %a@ \
+     comments: %a@]"
     Types.pp_class t.elf_class Types.pp_endian t.endian Types.pp_machine
     t.machine Types.pp_file_type t.file_type
     Fmt.(option ~none:(any "-") string)
@@ -92,5 +132,7 @@ let pp ppf t =
     t.verneeds
     Fmt.(list ~sep:(any ", ") string)
     t.verdefs
+    Fmt.(list ~sep:(any "; ") pp_dynsym)
+    t.dynsyms
     Fmt.(list ~sep:(any " | ") string)
     t.comments

@@ -7,6 +7,19 @@
     shared object (e.g. GLIBC_2.3.4 required from libc.so.6). *)
 type verneed = { vn_file : string; vn_versions : string list }
 
+(** Dynamic-symbol binding (the high nibble of st_info).  Local symbols
+    never reach [.dynsym], so only the external bindings are modelled. *)
+type sym_binding = Global | Weak
+
+(** One [.dynsym] entry with its [.gnu.version] association resolved to
+    a version name ([None] = unversioned). *)
+type dynsym = {
+  sym_name : string;
+  sym_defined : bool;  (** st_shndx <> SHN_UNDEF *)
+  sym_binding : sym_binding;
+  sym_version : string option;
+}
+
 type t = {
   elf_class : Types.elf_class;
   endian : Types.endian;
@@ -18,6 +31,7 @@ type t = {
   runpath : string option;  (** DT_RUNPATH *)
   verneeds : verneed list;  (** .gnu.version_r *)
   verdefs : string list;  (** .gnu.version_d: version names defined *)
+  dynsyms : dynsym list;  (** .dynsym entries (index-0 null entry excluded) *)
   comments : string list;  (** .comment: toolchain provenance strings *)
   abi_note : (int * int * int) option;  (** .note.ABI-tag: minimum kernel *)
   interp : string option;  (** PT_INTERP: the dynamic loader path *)
@@ -33,6 +47,7 @@ val make :
   ?runpath:string ->
   ?verneeds:verneed list ->
   ?verdefs:string list ->
+  ?dynsyms:dynsym list ->
   ?comments:string list ->
   ?abi_note:int * int * int ->
   ?interp:string ->
@@ -42,11 +57,21 @@ val make :
   t
 
 val equal_verneed : verneed -> verneed -> bool
+val equal_dynsym : dynsym -> dynsym -> bool
 val equal : t -> t -> bool
 
 (** All version names required from a given object; empty when none. *)
 val versions_required_from : t -> string -> string list
 
 val is_shared_library : t -> bool
+
+(** Undefined [.dynsym] entries: what the object imports at link time. *)
+val imports : t -> dynsym list
+
+(** Defined [.dynsym] entries: what the object offers to the scope. *)
+val exports : t -> dynsym list
+
+val binding_to_string : sym_binding -> string
 val pp_verneed : verneed Fmt.t
+val pp_dynsym : dynsym Fmt.t
 val pp : t Fmt.t

@@ -138,8 +138,10 @@ module Sht = struct
   let strtab = 3
   let dynamic = 6
   let note = 7
+  let dynsym = 11
   let gnu_verdef = 0x6ffffffd
   let gnu_verneed = 0x6ffffffe
+  let gnu_versym = 0x6fffffff
 end
 
 (* Dynamic-section tags. *)
@@ -147,14 +149,29 @@ module Dt = struct
   let null = 0
   let needed = 1
   let strtab = 5
+  let symtab = 6
   let strsz = 10
+  let syment = 11
   let soname = 14
   let rpath = 15
   let runpath = 29
+  let versym = 0x6ffffff0
   let verdef = 0x6ffffffc
   let verdefnum = 0x6ffffffd
   let verneed = 0x6ffffffe
   let verneednum = 0x6fffffff
+end
+
+(* Symbol bindings (the high nibble of st_info) and the special section
+   indices the reader/builder care about. *)
+module Stb = struct
+  let global = 1
+  let weak = 2
+end
+
+module Shn = struct
+  let undef = 0
+  let abs = 0xfff1
 end
 
 (* Classic System V ELF hash, used for vna_hash / vd_hash of version

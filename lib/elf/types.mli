@@ -59,8 +59,10 @@ module Sht : sig
   val strtab : int
   val dynamic : int
   val note : int
+  val dynsym : int
   val gnu_verdef : int
   val gnu_verneed : int
+  val gnu_versym : int
 end
 
 (** Dynamic-section tags. *)
@@ -68,14 +70,29 @@ module Dt : sig
   val null : int
   val needed : int
   val strtab : int
+  val symtab : int
   val strsz : int
+  val syment : int
   val soname : int
   val rpath : int
   val runpath : int
+  val versym : int
   val verdef : int
   val verdefnum : int
   val verneed : int
   val verneednum : int
+end
+
+(** Symbol binding codes (the high nibble of st_info). *)
+module Stb : sig
+  val global : int
+  val weak : int
+end
+
+(** Special section indices. *)
+module Shn : sig
+  val undef : int
+  val abs : int
 end
 
 (** Classic System V ELF hash (vna_hash / vd_hash of version names). *)

@@ -115,6 +115,35 @@ let table4 migrations =
       ];
     ]
 
+(* -- Soname heuristic vs. symbol closure (symcheck validation) ------------ *)
+
+let symbol_impact sites binaries =
+  let row label t =
+    [
+      label;
+      string_of_int t.Symbol_impact.migrations;
+      pct (Symbol_impact.acceptance_rate t);
+      string_of_int t.Symbol_impact.overturned;
+      string_of_int t.Symbol_impact.miss_symbols;
+      pct (Symbol_impact.overturn_rate t);
+    ]
+  in
+  let nas = Symbol_impact.of_suite Benchmark.Nas sites binaries in
+  let spec = Symbol_impact.of_suite Benchmark.Spec_mpi2007 sites binaries in
+  Table.make ~title:"Soname-major heuristic vs. symbol closure (symcheck)"
+    ~aligns:
+      [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:
+      [
+        "";
+        "Migrations";
+        "Lib-level accepted";
+        "Overturned";
+        "Missing symbols";
+        "Overturn rate";
+      ]
+    [ row "NAS" nas; row "SPEC" spec ]
+
 (* -- Accuracy by target site ---------------------------------------------- *)
 
 (* Where do mispredictions happen?  Accuracy of both modes per target

@@ -13,6 +13,11 @@ val table3 : Migrate.migration list -> Feam_util.Table.t
 (** Table IV: resolution impact per suite. *)
 val table4 : Migrate.migration list -> Feam_util.Table.t
 
+(** Soname-major acceptances vs. symbol-closure overturns per suite:
+    how often the library-level heuristic over-promises. *)
+val symbol_impact :
+  Feam_sysmodel.Site.t list -> Testset.binary list -> Feam_util.Table.t
+
 (** Prediction accuracy of both modes per target site. *)
 val accuracy_by_site : Migrate.migration list -> Feam_util.Table.t
 

@@ -119,9 +119,17 @@ let verneeds_for site program =
   ]
 
 let build_image ?stack site ~needed ~compiler program =
+  let bits = Site.bits site in
+  let libc_versions =
+    Glibc.referenced_versions ~bits ~appetite:program.glibc_appetite
+      ~build:(Site.glibc site)
+  in
+  let dynsyms =
+    Abi.binary_dynsyms ~bits ~glibc:(Site.glibc site) ~libc_versions ~needed
+  in
   let spec =
     Feam_elf.Spec.make ~file_type:Feam_elf.Types.ET_EXEC ~needed
-      ~verneeds:(verneeds_for site program)
+      ~verneeds:(verneeds_for site program) ~dynsyms
       ~comments:(comments site compiler)
       ~abi_note:(Distro.kernel_triple (Site.distro site))
       ~interp:(Feam_elf.Types.default_interp (Site.machine site))

@@ -24,6 +24,29 @@ let symbol_prefix = "GLIBC_"
 
 let symbol_of_version v = symbol_prefix ^ Version.to_string v
 
+(* A representative symbol introduced at each release: what a program
+   referencing that symbol version actually imports, and what the C
+   library of that release exports under it.  Well-known names for the
+   releases the corpus exercises; a generic name for the rest. *)
+let representative_symbol v =
+  match Version.to_string v with
+  | "2.0" -> "printf"
+  | "2.1" -> "pread64"
+  | "2.2" -> "posix_spawn"
+  | "2.2.5" -> "__libc_start_main"
+  | "2.3" -> "strtold"
+  | "2.3.4" -> "__snprintf_chk"
+  | "2.4" -> "__stack_chk_fail"
+  | "2.5" -> "splice"
+  | "2.6" -> "epoll_pwait"
+  | "2.7" -> "__isoc99_sscanf"
+  | "2.8" -> "timerfd_create"
+  | "2.9" -> "pipe2"
+  | "2.10" -> "accept4"
+  | "2.11" -> "execvpe"
+  | "2.12" -> "recvmmsg"
+  | s -> "__glibc_feature_" ^ s
+
 let version_of_symbol s =
   if String.starts_with ~prefix:symbol_prefix s then
     Version.of_string (String.sub s 6 (String.length s - 6))

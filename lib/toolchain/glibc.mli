@@ -13,6 +13,11 @@ val release_history : Feam_util.Version.t list
 val symbol_prefix : string
 val symbol_of_version : Feam_util.Version.t -> string
 
+(** A representative symbol introduced at a release: what programs
+    referencing that symbol version actually import, and what the C
+    library of that release exports under it. *)
+val representative_symbol : Feam_util.Version.t -> string
+
 (** Parse "GLIBC_2.3.4"; [None] for non-GLIBC version names. *)
 val version_of_symbol : string -> Feam_util.Version.t option
 

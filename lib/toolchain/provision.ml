@@ -15,15 +15,12 @@ let library_image site (entry : Libdb.entry) ~built_with : string =
   let bits = Site.bits site in
   let libc_name = Soname.to_string Glibc.libc_soname in
   let needed = List.map Soname.to_string entry.Libdb.deps @ [ libc_name ] in
+  let libc_versions =
+    Glibc.referenced_versions ~bits ~appetite:entry.Libdb.appetite
+      ~build:(Site.glibc site)
+  in
   let verneeds =
-    [
-      {
-        Feam_elf.Spec.vn_file = libc_name;
-        vn_versions =
-          Glibc.referenced_versions ~bits ~appetite:entry.Libdb.appetite
-            ~build:(Site.glibc site);
-      };
-    ]
+    [ { Feam_elf.Spec.vn_file = libc_name; vn_versions = libc_versions } ]
   in
   let verdefs =
     Soname.to_string entry.Libdb.soname
@@ -32,10 +29,15 @@ let library_image site (entry : Libdb.entry) ~built_with : string =
        Glibc.defined_symbol_versions (Site.glibc site)
      else [])
   in
+  let dynsyms =
+    Abi.library_dynsyms ~bits ~glibc:(Site.glibc site)
+      ~part_of_glibc:entry.Libdb.part_of_glibc ~libc_versions
+      (Soname.to_string entry.Libdb.soname)
+  in
   let spec =
     Feam_elf.Spec.make ~file_type:Feam_elf.Types.ET_DYN
       ~soname:(Soname.to_string entry.Libdb.soname)
-      ~needed ~verneeds ~verdefs
+      ~needed ~verneeds ~verdefs ~dynsyms
       ~comments:
         [
           Compiler.comment_string built_with;
@@ -70,6 +72,7 @@ let libc_image site : string =
     Feam_elf.Spec.make ~file_type:Feam_elf.Types.ET_DYN
       ~soname:(Soname.to_string Glibc.libc_soname)
       ~verdefs
+      ~dynsyms:(Abi.libc_dynsyms ~glibc:(Site.glibc site))
       ~comments:
         [ Printf.sprintf "GNU C Library stable release version %s"
             (Version.to_string (Site.glibc site)) ]

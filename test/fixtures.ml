@@ -33,10 +33,10 @@ let default_batch =
 let small_site ?(name = "testbed") ?(glibc = "2.5") ?(tools = Tools.full)
     ?(modules_flavor = Site.Environment_modules)
     ?(interconnect = Interconnect.Infiniband)
-    ?(machine = Feam_elf.Types.X86_64) ?(stacks = None) () =
+    ?(machine = Feam_elf.Types.X86_64) ?(stacks = None) ?fault_model () =
   let site =
     Site.make ~description:"unit-test site" ~tools ~modules_flavor
-      ~compilers:[ gnu412; intel11 ] ~seed:7 ~machine
+      ~compilers:[ gnu412; intel11 ] ~seed:7 ~machine ?fault_model
       ~distro:(Distro.make Distro.Centos ~version:(v "5.6") ~kernel:(v "2.6.18"))
       ~glibc:(v glibc) ~interconnect ~batch:default_batch name
   in

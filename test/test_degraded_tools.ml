@@ -9,13 +9,18 @@ open Feam_core
 
 let config = Config.default
 
+(* Truly fault-free: the property under test is the tool-fallback chain,
+   so the stochastic system-error channels are disabled rather than
+   relying on lucky draws. *)
 let world ~home_tools ~target_tools =
   let home, home_installs =
-    Fixtures.small_site ~name:"dhome" ~tools:home_tools ()
+    Fixtures.small_site ~name:"dhome" ~tools:home_tools
+      ~fault_model:Fault_model.none ()
   in
   let target, _ =
     let site, installs =
-      Fixtures.small_site ~name:"dtarget" ~glibc:"2.12" ~tools:target_tools ()
+      Fixtures.small_site ~name:"dtarget" ~glibc:"2.12" ~tools:target_tools
+        ~fault_model:Fault_model.none ()
     in
     (site, installs)
   in

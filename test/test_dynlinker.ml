@@ -90,7 +90,9 @@ let test_resolve_version_failure () =
   Alcotest.(check bool) "version failure" true (r.Resolve.version_failures <> []);
   let f = List.hd r.Resolve.version_failures in
   Alcotest.(check string) "which version" "GLIBC_2.7" f.Resolve.vf_version;
-  Alcotest.(check string) "provider" "libc.so.6" f.Resolve.vf_provider
+  Alcotest.(check string) "provider" "libc.so.6" f.Resolve.vf_provider;
+  (* the consulted provider's load-order position is recorded *)
+  Alcotest.(check bool) "scope pos" true (f.Resolve.vf_scope_pos <> None)
 
 let test_resolve_arch_mismatch () =
   let site, _ = Fixtures.small_site () in

@@ -149,7 +149,14 @@ let test_failure_strings_are_informative () =
       Exec.Missing_libraries [ "liba.so.1" ];
       Exec.Arch_mismatched_libraries [ "libb.so.1" ];
       Exec.Unsatisfied_versions
-        [ { Resolve.vf_object = "o"; vf_provider = "libc.so.6"; vf_version = "GLIBC_2.7" } ];
+        [
+          {
+            Resolve.vf_object = "o";
+            vf_provider = "libc.so.6";
+            vf_scope_pos = None;
+            vf_version = "GLIBC_2.7";
+          };
+        ];
       Exec.Interpreter_missing "/lib/ld-linux.so.2";
       Exec.Invalid_process_count { np = 6; rule = "a perfect square" };
       Exec.No_mpi_stack;

@@ -19,6 +19,42 @@ let base_image =
        ~abi_note:(2, 6, 18)
        ~interp:"/lib64/ld-linux-x86-64.so.2" Feam_elf.Types.X86_64)
 
+(* A symbol-rich image: a versioned export, versioned and unversioned
+   imports, and a weak reference exercise the .dynsym/.gnu.version
+   parsing paths under mutation. *)
+let symbol_image =
+  let sym name ~defined ~binding ~version =
+    {
+      Feam_elf.Spec.sym_name = name;
+      sym_defined = defined;
+      sym_binding = binding;
+      sym_version = version;
+    }
+  in
+  Feam_elf.Builder.build
+    (Feam_elf.Spec.make ~file_type:Feam_elf.Types.ET_DYN ~soname:"libsym.so.1"
+       ~needed:[ "libc.so.6" ]
+       ~verneeds:
+         [
+           {
+             Feam_elf.Spec.vn_file = "libc.so.6";
+             vn_versions = [ "GLIBC_2.2.5"; "GLIBC_2.5" ];
+           };
+         ]
+       ~verdefs:[ "libsym.so.1"; "SYM_1.0"; "SYM_2.0" ]
+       ~dynsyms:
+         [
+           sym "sym_init" ~defined:true ~binding:Feam_elf.Spec.Global
+             ~version:(Some "SYM_2.0");
+           sym "memcpy" ~defined:false ~binding:Feam_elf.Spec.Global
+             ~version:(Some "GLIBC_2.2.5");
+           sym "plain_ref" ~defined:false ~binding:Feam_elf.Spec.Global
+             ~version:None;
+           sym "weak_hook" ~defined:false ~binding:Feam_elf.Spec.Weak
+             ~version:None;
+         ]
+       Feam_elf.Types.X86_64)
+
 (* Apply [n] random single-byte mutations, deterministically from a
    seed. *)
 let mutate seed n (s : string) =
@@ -48,6 +84,27 @@ let prop_elf_reader_truncations =
        QCheck.Gen.(int_range 0 (String.length base_image)))
     (fun len ->
       match Feam_elf.Reader.parse (String.sub base_image 0 len) with
+      | Ok _ | Error _ -> true)
+
+let prop_symbol_tables_total =
+  QCheck.Test.make
+    ~name:"fuzz: .dynsym/.gnu.version parsing is total on mutated images"
+    ~count:800
+    (QCheck.make
+       ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+       gen_mutation)
+    (fun (seed, n) ->
+      match Feam_elf.Reader.parse (mutate seed n symbol_image) with
+      | Ok _ | Error _ -> true)
+
+let prop_symbol_tables_truncations =
+  QCheck.Test.make
+    ~name:"fuzz: .dynsym/.gnu.version parsing is total on truncations"
+    ~count:200
+    (QCheck.make ~print:string_of_int
+       QCheck.Gen.(int_range 0 (String.length symbol_image)))
+    (fun len ->
+      match Feam_elf.Reader.parse (String.sub symbol_image 0 len) with
       | Ok _ | Error _ -> true)
 
 (* A valid bundle artifact to mutate. *)
@@ -144,6 +201,8 @@ let suite =
     [
       QCheck_alcotest.to_alcotest prop_elf_reader_total;
       QCheck_alcotest.to_alcotest prop_elf_reader_truncations;
+      QCheck_alcotest.to_alcotest prop_symbol_tables_total;
+      QCheck_alcotest.to_alcotest prop_symbol_tables_truncations;
       QCheck_alcotest.to_alcotest prop_bundle_parser_total;
       QCheck_alcotest.to_alcotest prop_json_parser_total;
       QCheck_alcotest.to_alcotest prop_objdump_parser_total;

@@ -40,12 +40,28 @@ let discovery =
     current_stack = None;
   }
 
-let image ?soname ?(needed = []) ?rpath ?verneeds ?interp
+let image ?soname ?(needed = []) ?rpath ?verneeds ?verdefs ?dynsyms ?interp
     ?(file_type = Feam_elf.Types.ET_DYN) ?(machine = Feam_elf.Types.X86_64) ()
     =
   Feam_elf.Builder.build
-    (Feam_elf.Spec.make ~file_type ?soname ~needed ?rpath ?verneeds ?interp
-       machine)
+    (Feam_elf.Spec.make ~file_type ?soname ~needed ?rpath ?verneeds ?verdefs
+       ?dynsyms ?interp machine)
+
+let import ?version ?(binding = Feam_elf.Spec.Global) name =
+  {
+    Feam_elf.Spec.sym_name = name;
+    sym_defined = false;
+    sym_binding = binding;
+    sym_version = version;
+  }
+
+let export ?version name =
+  {
+    Feam_elf.Spec.sym_name = name;
+    sym_defined = true;
+    sym_binding = Feam_elf.Spec.Global;
+    sym_version = version;
+  }
 
 let copy ~request ~origin ~description:d bytes =
   {
@@ -59,14 +75,20 @@ let copy ~request ~origin ~description:d bytes =
 (* A bundle with seeded defects: an unconventional loader, a relative
    and a shadowing RPATH, an unknown and a too-new glibc binding, a
    malformed DT_NEEDED name, a copy whose recorded description is for
-   another machine, a major-version conflict, a dependency cycle, and
-   stale unlocatable bookkeeping. *)
+   another machine, a major-version conflict, a dependency cycle,
+   stale unlocatable bookkeeping — and, at the symbol level, a strong
+   and a weak import the staged copies fail to export despite
+   satisfying every soname, plus one symbol two copies both define. *)
 let dirty_bundle () =
   let root_needed =
     [ "libfoo.so.1"; "libbar.so.2"; "libbogus.so.1abc"; "libc.so.6" ]
   in
   let root_verneeds =
-    [ ("libc.so.6", [ "GLIBC_2.2.5"; "GLIBC_2.12"; "GLIBC_2.99" ]) ]
+    [
+      ("libc.so.6", [ "GLIBC_2.2.5"; "GLIBC_2.12"; "GLIBC_2.99" ]);
+      ("libfoo.so.1", [ "FOO_2.0" ]);
+      ("libbar.so.2", [ "BAR_2.0" ]);
+    ]
   in
   let root_rpath = "../libs:/home/user/oldlibs" in
   let root_bytes =
@@ -75,17 +97,28 @@ let dirty_bundle () =
         (List.map
            (fun (vn_file, vn_versions) -> { Feam_elf.Spec.vn_file; vn_versions })
            root_verneeds)
+      ~dynsyms:
+        [
+          import "shared_sym";
+          import ~version:"FOO_2.0" "foo_feature_r9";
+          import ~version:"BAR_2.0" ~binding:Feam_elf.Spec.Weak "bar_weak";
+        ]
       ~interp:"/lib/ld-weird.so.1" ~file_type:Feam_elf.Types.ET_EXEC ()
   in
   let foo_bytes =
     image
       ~soname:(Soname.make ~version:[ 1 ] "libfoo" |> Soname.to_string)
-      ~needed:[ "libbar.so.2"; "libc.so.6" ] ()
+      ~needed:[ "libbar.so.2"; "libc.so.6" ]
+      ~verdefs:[ "libfoo.so.1"; "FOO_1.0" ]
+      ~dynsyms:[ export ~version:"FOO_1.0" "foo_init"; export "shared_sym" ]
+      ()
   in
   let bar_bytes =
     image
       ~soname:(Soname.make ~version:[ 2 ] "libbar" |> Soname.to_string)
-      ~needed:[ "libfoo.so.2"; "libfoo.so.1"; "libc.so.6" ] ()
+      ~needed:[ "libfoo.so.2"; "libfoo.so.1"; "libc.so.6" ]
+      ~verdefs:[ "libbar.so.2" ]
+      ~dynsyms:[ export "shared_sym" ] ()
   in
   {
     Bundle.created_at = "home";
@@ -161,23 +194,31 @@ error soname-major-conflict libfoo.so: the closure mixes incompatible major vers
       fix: align the closure on a single major version of libfoo, or drop the stale copies from the bundle
 error stale-bundle          libfoo.so.1: recorded description is stale for the embedded image: machine (recorded ppc64, image x86_64)
       fix: re-run the source phase to regenerate the bundle
+error symbol-unresolved     foo_feature_r9@FOO_2.0: imported by /home/user/bin/app but exported by no object in the staged closure (consulted libfoo.so.1)
+      fix: re-stage a copy that exports the symbol from a site where the binary runs (feam symcheck prints the full bind log)
 warn  dep-cycle             libbar.so.2: dependency cycle libbar.so.2 -> libfoo.so.1 -> libbar.so.2: the staged copies will initialize in an order the source site never exercised
 warn  glibc-verneed         /home/user/bin/app: GLIBC_2.99 from libc.so.6 is not a known glibc release; the binding can never be satisfied by a stock C library
 warn  interp-mismatch       /home/user/bin/app: PT_INTERP requests /lib/ld-weird.so.1 but the conventional x86_64 loader is /lib64/ld-linux-x86-64.so.2
       fix: relink against the standard loader, or ensure /lib/ld-weird.so.1 exists at every target
 warn  rpath-escape          /home/user/bin/app: DT_RPATH entry /home/user/oldlibs precedes LD_LIBRARY_PATH and points outside the bundle: it can shadow the staged library copies at the target
       fix: relink with DT_RUNPATH (or no run path) so the staged copies on LD_LIBRARY_PATH keep precedence
+warn  soname-major-unsound  libfoo.so.1: satisfies the soname requirement of /home/user/bin/app yet does not export foo_feature_r9@FOO_2.0: the soname-major acceptance is unsound here
+      fix: trust the symbol-level verdict over the soname match: re-stage the provider from a build that exports the symbols
 warn  soname-parse          libbogus.so.1abc: DT_NEEDED entry of /home/user/bin/app does not parse as a shared-object name: non-numeric version component "1abc"
       fix: rename the library to the lib<base>.so.<major>[.<minor>] convention so version compatibility can be checked
+warn  symbol-interposed     shared_sym: defined by libfoo.so.1 and also by libbar.so.2: the first definition in scope order interposes the rest
+      fix: keep a single provider of the symbol in the bundle so binding does not depend on scope order
 warn  unresolved-missing    libbogus.so.1abc: required by /home/user/bin/app but neither bundled nor recorded as unlocatable: the source-phase manifest is incomplete
       fix: re-run the source phase to complete the closure
 warn  unresolved-missing    libfoo.so.2: required by libbar.so.2 but neither bundled nor recorded as unlocatable: the source-phase manifest is incomplete
       fix: re-run the source phase to complete the closure
 warn  unresolved-missing    libwidget.so.3: no bundled copy: execution readiness depends entirely on the target site providing it
       fix: obtain a copy from a site where the binary runs and re-bundle (FEAM's source phase automates this)
+info  symbol-unresolved     bar_weak@BAR_2.0: imported by /home/user/bin/app but exported by no object in the staged closure (consulted libbar.so.2)
+      fix: re-stage a copy that exports the symbol from a site where the binary runs (feam symcheck prints the full bind log)
 info  unresolved-missing    libbar.so.2: recorded as unlocatable at the source, yet the bundle carries a copy that satisfies it
       fix: re-run the source phase to refresh the bundle manifest
-6 errors, 8 warnings, 1 info
+7 errors, 10 warnings, 2 info
 |golden}
 
 let test_dirty_text_golden () =

@@ -38,6 +38,7 @@ let () =
       Test_misc_coverage.suite;
       Test_fuzz.suite;
       Test_lint.suite;
+      Test_symcheck.suite;
       Test_whatif.suite;
       Test_accounting.suite;
       Test_static.suite;
