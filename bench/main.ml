@@ -237,8 +237,79 @@ let all_benches =
 (* Machine-readable results, derived from the observability layer's
    histogram type: every OLS estimate is observed into the
    bench.ns_per_run{bench=...} histogram, then the registry is read back
-   into BENCH_obs.json. *)
+   into BENCH_feam.json at the repo root — headline timings for the
+   pipeline stages plus the full per-bench histogram summaries.  When a
+   previous BENCH_feam.json exists, a one-line geometric-mean comparison
+   against it is printed before it is overwritten. *)
 let bench_metric = "bench.ns_per_run"
+let bench_file = "BENCH_feam.json"
+
+(* The headline entries: the per-stage costs a reader checks first. *)
+let headline_benches =
+  [
+    ("basic_prediction", "table3/basic-prediction");
+    ("extended_prediction", "table3/extended-prediction");
+    ("resolution", "table4/resolution");
+    ("bdc_description", "fig3/bdc-description");
+    ("edc_discovery", "fig4/edc-discovery");
+    ("both_phases", "fig2/both-phases");
+  ]
+
+let mean_of name =
+  Option.map Feam_obs.Metrics.hist_mean
+    (Feam_obs.Metrics.histogram_value bench_metric ~labels:[ ("bench", name) ])
+
+(* ns_per_op of every bench recorded in a previous BENCH_feam.json. *)
+let previous_means () =
+  if not (Sys.file_exists bench_file) then []
+  else
+    let text = In_channel.with_open_text bench_file In_channel.input_all in
+    match Feam_util.Json.parse text with
+    | Error _ -> []
+    | Ok json ->
+      let benches =
+        Option.value ~default:[]
+          (Option.bind
+             (Feam_util.Json.member "benches" json)
+             Feam_util.Json.to_list_opt)
+      in
+      List.filter_map
+        (fun b ->
+          match
+            ( Option.bind
+                (Feam_util.Json.member "name" b)
+                Feam_util.Json.to_string_opt,
+              Feam_util.Json.member "ns_per_op" b )
+          with
+          | Some name, Some (Feam_util.Json.Float ns) -> Some (name, ns)
+          | Some name, Some (Feam_util.Json.Int ns) ->
+            Some (name, float_of_int ns)
+          | _ -> None)
+        benches
+
+(* One line: geometric-mean new/old ratio over the benches both runs share. *)
+let compare_with_previous previous names =
+  let ratios =
+    List.filter_map
+      (fun name ->
+        match (mean_of name, List.assoc_opt name previous) with
+        | Some now, Some before when before > 0.0 && now > 0.0 ->
+          Some (now /. before)
+        | _ -> None)
+      names
+  in
+  match ratios with
+  | [] -> ()
+  | _ ->
+    let n = List.length ratios in
+    let gmean =
+      exp (List.fold_left (fun acc r -> acc +. log r) 0.0 ratios /. float_of_int n)
+    in
+    Fmt.pr "vs previous %s: %.2fx geometric-mean time over %d shared benches (%s)@."
+      bench_file gmean n
+      (if gmean > 1.02 then "slower"
+       else if gmean < 0.98 then "faster"
+       else "unchanged")
 
 let write_bench_json names =
   let open Feam_util.Json in
@@ -263,11 +334,25 @@ let write_bench_json names =
                  (Array.map (fun c -> Int c) h.Feam_obs.Metrics.counts)) );
         ]
   in
-  let json = Obj [ ("benches", List (List.map entry names)) ] in
-  Out_channel.with_open_text "BENCH_obs.json" (fun oc ->
+  let previous = previous_means () in
+  let headline =
+    List.filter_map
+      (fun (key, name) -> Option.map (fun ns -> (key, Float ns)) (mean_of name))
+      headline_benches
+  in
+  let json =
+    Obj
+      [
+        ("schema", Int 1);
+        ("headline_ns_per_op", Obj headline);
+        ("benches", List (List.map entry names));
+      ]
+  in
+  Out_channel.with_open_text bench_file (fun oc ->
       Out_channel.output_string oc (render json);
       Out_channel.output_char oc '\n');
-  Fmt.pr "machine-readable results written to BENCH_obs.json@."
+  compare_with_previous previous names;
+  Fmt.pr "machine-readable results written to %s@." bench_file
 
 let run_benches () =
   let instances = Instance.[ monotonic_clock ] in

@@ -101,6 +101,25 @@ let run_eval seed verbose =
       (fun m -> m.Migrate.actual_before)
   end
 
+(* --journal DIR: journal the migration matrix, one self-contained
+   flight-recorder journal per (binary, target) cell, each replayable
+   and diffable on its own with `feam replay` / `feam diff`. *)
+let run_journal seed dir =
+  let params = { Params.default with Params.seed } in
+  Fmt.pr "Provisioning the five Table II sites...@.";
+  let sites = Sites.build_all params in
+  Fmt.pr "Compiling benchmark corpus (NPB 2.4 + SPEC MPI2007)...@.";
+  let benchmarks = Feam_suites.Npb.all @ Feam_suites.Specmpi.all in
+  let binaries = Testset.build params sites benchmarks in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write ~name body =
+    Out_channel.with_open_text (Filename.concat dir name) (fun oc ->
+        Out_channel.output_string oc body)
+  in
+  Fmt.pr "Journaling migration-matrix cells...@.";
+  let names = Journals.write_cells ~write sites binaries in
+  Fmt.pr "wrote %d cell journals to %s@." (List.length names) dir
+
 let run_sweep n_seeds =
   let aggregates =
     Sweep.run ~on_progress:(fun seed -> Fmt.pr "  seed %d done@." seed) n_seeds
@@ -197,14 +216,15 @@ let trace_out =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write the trace to FILE instead of the terminal.")
 
-let run seed verbose sweep_n ablation whatif trace trace_out =
+let run seed verbose sweep_n ablation whatif journal_dir trace trace_out =
   setup_obs trace trace_out;
   (if ablation then run_ablation seed
    else if whatif then run_whatif seed
    else
-     match sweep_n with
-     | Some n when n > 0 -> run_sweep n
-     | _ -> run_eval seed verbose);
+     match (journal_dir, sweep_n) with
+     | Some dir, _ -> run_journal seed dir
+     | None, Some n when n > 0 -> run_sweep n
+     | None, _ -> run_eval seed verbose);
   Feam_obs.flush ()
 
 let ablation =
@@ -219,11 +239,21 @@ let whatif =
     & info [ "whatif" ]
         ~doc:"Run the administrator what-if analysis: measure the migrations               unlocked by hypothetical installs at the Table II sites.")
 
+let journal_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:"Instead of the evaluation tables, journal the migration \
+              matrix: one flight-recorder journal per (binary, target) \
+              cell, written to DIR (created if absent) and individually \
+              replayable with 'feam replay'.")
+
 let cmd =
   Cmd.v
     (Cmd.info "evaltool" ~doc:"Regenerate the FEAM paper's evaluation tables")
     Term.(
-      const run $ seed $ verbose $ sweep $ ablation $ whatif $ trace
-      $ trace_out)
+      const run $ seed $ verbose $ sweep $ ablation $ whatif $ journal_dir
+      $ trace $ trace_out)
 
 let () = exit (Cmd.eval cmd)

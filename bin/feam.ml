@@ -171,12 +171,23 @@ let trace_out_arg =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write the trace to FILE instead of the terminal.")
 
-(* Turn tracing on for this process.  The sink is flushed through
-   at_exit so trace output survives early `exit 1` / `exit 2` paths
-   (e.g. `feam lint --fail-on`); sinks are idempotent, so the normal
-   end-of-command flush does not double-write. *)
-let setup_obs trace trace_out =
-  match trace with
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:"Record the run's flight-recorder journal — evidence atoms, \
+              determinant decisions, replay payloads — to FILE.  Feed it \
+              to 'feam replay' or 'feam diff'.")
+
+(* Turn tracing and/or journaling on for this process.  Both sinks
+   drain through the single idempotent [Feam_obs.flush] (the recorder
+   registers itself as a flush hook), which is also installed with
+   at_exit so output survives early `exit 1` / `exit 2` paths
+   (e.g. `feam lint --fail-on`); the normal end-of-command flush does
+   not double-write. *)
+let setup_obs ?(journal = None) trace trace_out =
+  (match trace with
   | None -> ()
   | Some format ->
     let emit text =
@@ -189,8 +200,16 @@ let setup_obs trace trace_out =
         | Feam_obs.Pretty -> prerr_string text
         | Feam_obs.Jsonl | Feam_obs.Chrome -> print_string text)
     in
-    Feam_obs.configure ~clock:Feam_obs.Clock.wall ~emit format;
-    at_exit Feam_obs.flush
+    Feam_obs.configure ~clock:Feam_obs.Clock.wall ~emit format);
+  (match journal with
+  | None -> ()
+  | Some file ->
+    let emit body =
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc body)
+    in
+    Feam_flightrec.Recorder.configure ~tool:"feam" ~emit ());
+  if trace <> None || journal <> None then at_exit Feam_obs.flush
 
 let scenario_arg =
   Arg.(
@@ -245,9 +264,9 @@ let cmd_sites debug scenario_name =
        ~header:[ "Site"; "ISA"; "OS"; "glibc"; "MPI stacks" ]
        rows)
 
-let cmd_describe debug trace trace_out scenario_name site binary =
+let cmd_describe debug trace trace_out journal scenario_name site binary =
   setup_logs debug;
-  setup_obs trace trace_out;
+  setup_obs ~journal trace trace_out;
   let scenario = load_scenario scenario_name in
   let site = require_site scenario site in
   let path, install =
@@ -266,12 +285,13 @@ let cmd_describe debug trace trace_out scenario_name site binary =
   | Ok d -> Fmt.pr "%a@." Feam_core.Description.pp d
   | Error e ->
     Fmt.epr "describe failed: %s@." e;
+    Feam_obs.flush ();
     exit 1);
   Feam_obs.flush ()
 
-let cmd_discover debug trace trace_out scenario_name site =
+let cmd_discover debug trace trace_out journal scenario_name site =
   setup_logs debug;
-  setup_obs trace trace_out;
+  setup_obs ~journal trace trace_out;
   let scenario = load_scenario scenario_name in
   let site = require_site scenario site in
   let d = Feam_core.Edc.discover ~env_type:`Target site (Site.base_env site) in
@@ -366,17 +386,23 @@ let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
             ~target:(Feam_analysis.Context.target_of_site target) bundle
         in
         let rules = if lint then None else Some (symbol_rules ()) in
-        Ok
-          (Feam_core.Report.with_findings report
-             (Feam_analysis.Engine.run ?rules ctx))
+        let report =
+          Feam_core.Report.with_findings report
+            (Feam_analysis.Engine.run ?rules ctx)
+        in
+        (* findings ride the report: re-journal it so the journal's
+           *last* report record (the one replay and diff read) carries
+           them too *)
+        Feam_core.Report.journal report;
+        Ok report
       | _ -> Ok report)
   in
   (result, clock)
 
-let cmd_predict debug trace trace_out scenario_name from_site to_site binary
-    basic_only json lint symbols =
+let cmd_predict debug trace trace_out journal scenario_name from_site to_site
+    binary basic_only json lint symbols =
   setup_logs debug;
-  setup_obs trace trace_out;
+  setup_obs ~journal trace trace_out;
   let result, clock =
     run_predict_pipeline ~symbols scenario_name from_site to_site binary
       basic_only lint
@@ -391,6 +417,7 @@ let cmd_predict debug trace trace_out scenario_name from_site to_site binary
     end
   | Error e ->
     Fmt.epr "prediction failed: %s@." e;
+    Feam_obs.flush ();
     exit 1);
   Feam_obs.flush ()
 
@@ -519,10 +546,10 @@ let cmd_lint debug trace trace_out scenario_name site binary bundle_file
 
 (* -- Symbol closure: `feam symcheck` ------------------------------------------ *)
 
-let cmd_symcheck debug trace trace_out scenario_name site binary bundle_file
-    target_site target_glibc json bind_log fail_on =
+let cmd_symcheck debug trace trace_out journal scenario_name site binary
+    bundle_file target_site target_glibc json bind_log fail_on =
   setup_logs debug;
-  setup_obs trace trace_out;
+  setup_obs ~journal trace trace_out;
   let module S = Feam_symcheck.Symcheck in
   let bundle = lint_bundle scenario_name site binary bundle_file in
   let target = lint_target scenario_name target_site target_glibc in
@@ -588,6 +615,61 @@ let cmd_symcheck debug trace trace_out scenario_name site binary bundle_file
   in
   Feam_obs.flush ();
   exit gated
+
+(* -- Flight recorder: `feam replay` / `feam diff` ----------------------------- *)
+
+let parse_journal file =
+  let text =
+    if file = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text file In_channel.input_all
+  in
+  match Feam_flightrec.Journal.parse text with
+  | Ok journal -> journal
+  | Error e -> failwith (Printf.sprintf "%s: %s" file e)
+
+(* Re-run the prediction purely from a journal's recorded evidence and
+   check it reproduces the recorded report byte-for-byte. *)
+let cmd_replay debug json file =
+  setup_logs debug;
+  let journal = parse_journal file in
+  match Feam_core.Replay.of_journal journal with
+  | Error e ->
+    Fmt.epr "replay failed: %s@." e;
+    exit 1
+  | Ok outcome ->
+    let open Feam_core.Replay in
+    if json then
+      print_endline
+        (Json.render
+           (Json.Obj
+              [
+                ("matches", Json.Bool outcome.matches);
+                ("has_recorded_report", Json.Bool (outcome.recorded <> None));
+                ("report", Feam_core.Report.to_json outcome.report);
+              ]))
+    else print_string outcome.rendered;
+    (match outcome.recorded with
+    | None ->
+      Fmt.epr "replay: the journal records no report text to compare against@."
+    | Some _ when outcome.matches ->
+      Fmt.epr "replay: report matches the journal's recorded text byte-for-byte@."
+    | Some recorded ->
+      Fmt.epr "replay: MISMATCH between the replayed and recorded reports@.";
+      Fmt.epr "--- recorded ---@.%s--- replayed ---@.%s" recorded
+        outcome.rendered;
+      exit 1)
+
+(* Align two journals and pin what changed: evidence atoms, flipped
+   determinants, the overall verdict.  Exits 1 when they differ, like
+   diff(1). *)
+let cmd_journal_diff debug json file_a file_b =
+  setup_logs debug;
+  let a = parse_journal file_a in
+  let b = parse_journal file_b in
+  let d = Feam_flightrec.Diff.compare a b in
+  if json then print_endline (Json.render (Feam_flightrec.Diff.to_json d))
+  else print_string (Feam_flightrec.Diff.render_text d);
+  if not (Feam_flightrec.Diff.is_empty d) then exit 1
 
 let cmd_bundle debug scenario_name site binary out =
   setup_logs debug;
@@ -748,15 +830,15 @@ let describe_cmd =
   Cmd.v
     (Cmd.info "describe" ~doc:"Run the Binary Description Component on a binary")
     Term.(
-      const cmd_describe $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
-      $ site_arg $ binary_arg)
+      const cmd_describe $ debug_arg $ trace_arg $ trace_out_arg $ journal_arg
+      $ scenario_arg $ site_arg $ binary_arg)
 
 let discover_cmd =
   Cmd.v
     (Cmd.info "discover" ~doc:"Run the Environment Discovery Component on a site")
     Term.(
-      const cmd_discover $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
-      $ site_arg)
+      const cmd_discover $ debug_arg $ trace_arg $ trace_out_arg $ journal_arg
+      $ scenario_arg $ site_arg)
 
 let from_arg =
   Arg.(
@@ -800,8 +882,8 @@ let predict_cmd =
     (Cmd.info "predict"
        ~doc:"Predict execution readiness of a binary at a target site")
     Term.(
-      const cmd_predict $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
-      $ from_arg $ to_arg $ binary_arg $ basic_arg $ json_arg
+      const cmd_predict $ debug_arg $ trace_arg $ trace_out_arg $ journal_arg
+      $ scenario_arg $ from_arg $ to_arg $ binary_arg $ basic_arg $ json_arg
       $ predict_lint_arg $ predict_symbols_arg)
 
 let metrics_cmd =
@@ -882,10 +964,10 @@ let symcheck_cmd =
              heuristic accepts a closure the symbols refute.  Exits 0 clean \
              / 1 warnings / 2 errors, like lint.")
     Term.(
-      const cmd_symcheck $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
-      $ site_arg $ binary_arg $ lint_bundle_arg $ lint_target_arg
-      $ lint_target_glibc_arg $ json_arg $ symcheck_bind_log_arg
-      $ lint_fail_on_arg)
+      const cmd_symcheck $ debug_arg $ trace_arg $ trace_out_arg $ journal_arg
+      $ scenario_arg $ site_arg $ binary_arg $ lint_bundle_arg
+      $ lint_target_arg $ lint_target_glibc_arg $ json_arg
+      $ symcheck_bind_log_arg $ lint_fail_on_arg)
 
 let config_file_arg =
   Arg.(
@@ -926,6 +1008,44 @@ let rank_cmd =
     (Cmd.info "rank" ~doc:"Rank the scenario's sites for a binary by readiness                            and time-to-first-result")
     Term.(const cmd_rank $ debug_arg $ scenario_arg $ from_arg)
 
+let journal_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal ('-' for stdin).")
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-run the prediction purely from a journal's recorded evidence \
+             — no discovery, no probes, no staging — and verify it \
+             reproduces the recorded report byte-for-byte.  Exits 1 on \
+             mismatch.")
+    Term.(const cmd_replay $ debug_arg $ json_arg $ journal_file_arg)
+
+let journal_a_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"JOURNAL-A" ~doc:"First journal.")
+
+let journal_b_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"JOURNAL-B" ~doc:"Second journal.")
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Align two journals by binary and determinant and pin what \
+             changed between the runs: the evidence atoms that moved, the \
+             determinants they flipped, and the overall verdict.  Exits 1 \
+             when the journals differ, like diff(1).")
+    Term.(
+      const cmd_journal_diff $ debug_arg $ json_arg $ journal_a_arg
+      $ journal_b_arg)
+
 let advise_cmd =
   Cmd.v
     (Cmd.info "advise"
@@ -937,7 +1057,8 @@ let main =
     (Cmd.info "feam" ~version:"1.0.0"
        ~doc:"Framework for Efficient Application Migration (simulated sites)")
     [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; metrics_cmd;
-      lint_cmd; symcheck_cmd; config_check_cmd; bundle_cmd; inspect_bundle_cmd;
-      advise_cmd; rank_cmd; scenario_template_cmd ]
+      lint_cmd; symcheck_cmd; replay_cmd; diff_cmd; config_check_cmd;
+      bundle_cmd; inspect_bundle_cmd; advise_cmd; rank_cmd;
+      scenario_template_cmd ]
 
 let () = exit (Cmd.eval main)

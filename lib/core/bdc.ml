@@ -109,14 +109,31 @@ let describe ?clock site env ~path =
   Feam_obs.Trace.with_span "bdc.describe"
     ~attrs:[ ("path", Feam_obs.Span.Str path) ]
   @@ fun () ->
+  let journal_describe method_ (d : Description.t) =
+    Feam_flightrec.Recorder.evidence ~stage:"bdc" ~kind:"describe"
+      [
+        ("path", Json.Str path);
+        ("method", Json.Str method_);
+        ("format", Json.Str d.Description.file_format);
+        ( "needed",
+          Json.List (List.map (fun n -> Json.Str n) d.Description.needed) );
+        ( "required_glibc",
+          match d.Description.required_glibc with
+          | Some v -> Json.Str (Version.to_string v)
+          | None -> Json.Null );
+      ]
+  in
   match describe_via_objdump ?clock site path with
   | Ok d ->
     Feam_obs.Metrics.incr "bdc.describe" ~labels:[ ("method", "objdump") ];
+    journal_describe "objdump" d;
     Ok d
   | Error _ ->
     Feam_obs.Metrics.incr "bdc.describe" ~labels:[ ("method", "file_ldd") ];
     Feam_obs.Trace.with_span "bdc.file_ldd_describe" @@ fun () ->
-    describe_via_file_and_ldd ?clock site env path
+    let r = describe_via_file_and_ldd ?clock site env path in
+    Result.iter (journal_describe "file_ldd") r;
+    r
 
 (* -- Library location (paper §V.A, three search methods) --------------- *)
 
@@ -151,17 +168,28 @@ let locate_library ?clock site env name =
     | Ok paths -> pick paths
     | Error _ -> None
   in
+  let journal_locate method_ found =
+    Feam_flightrec.Recorder.evidence ~stage:"bdc" ~kind:"locate"
+      [
+        ("library", Json.Str name);
+        ("method", Json.Str method_);
+        ("path", match found with Some p -> Json.Str p | None -> Json.Null);
+      ]
+  in
   match via_locate () with
   | Some p ->
     Feam_obs.Trace.set_attr "method" (Feam_obs.Span.Str "locate");
+    journal_locate "locate" (Some p);
     Some p
   | None -> (
     match via_find () with
     | Some p ->
       Feam_obs.Trace.set_attr "method" (Feam_obs.Span.Str "find");
+      journal_locate "find" (Some p);
       Some p
     | None ->
       Feam_obs.Metrics.incr "bdc.locate_failures";
+      journal_locate "none" None;
       None)
 
 (* Paths of the binary's shared libraries at a guaranteed site: ldd when
@@ -234,6 +262,12 @@ let gather_source ?clock site env ~path =
                       ("library", Feam_obs.Span.Str name);
                       ("origin", Feam_obs.Span.Str origin);
                     ];
+                Feam_flightrec.Recorder.evidence ~stage:"bdc" ~kind:"copy"
+                  [
+                    ("library", Json.Str name);
+                    ("origin", Json.Str origin);
+                    ("declared_size", Json.Int declared_size);
+                  ];
                 copies :=
                   {
                     copy_request = name;

@@ -58,6 +58,81 @@ let of_dynamic_info ~path ~provenance (info : Objdump_parse.dynamic_info) =
         provenance;
       }
 
+(* JSON round-trip for the flight recorder's journal.  Same contract
+   as the bundle format: primitives are stored and the derived fields
+   (machine, required C library version, MPI identification) are
+   recomputed on load, so a journal written by one FEAM version parses
+   under another as long as the primitives hold. *)
+
+let to_json t =
+  let open Json in
+  let opt f = function None -> Null | Some v -> Str (f v) in
+  Obj
+    [
+      ("path", Str t.path);
+      ("format", Str t.file_format);
+      ("soname", opt Soname.to_string t.soname);
+      ("needed", List (List.map (fun n -> Str n) t.needed));
+      ("rpath", opt Fun.id t.rpath);
+      ("runpath", opt Fun.id t.runpath);
+      ( "verneeds",
+        Obj
+          (List.map
+             (fun (file, versions) ->
+               (file, List (List.map (fun v -> Str v) versions)))
+             t.verneeds) );
+      ("compiler", opt Fun.id t.provenance.Objdump_parse.compiler_banner);
+      ("build_os", opt Fun.id t.provenance.Objdump_parse.build_os);
+    ]
+
+let of_json json =
+  let open Json in
+  let str key = Option.bind (member key json) to_string_opt in
+  let str_list key =
+    match Option.bind (member key json) to_list_opt with
+    | None -> []
+    | Some items -> List.filter_map to_string_opt items
+  in
+  match (str "path", str "format") with
+  | None, _ -> Error "description: missing path"
+  | _, None -> Error "description: missing format"
+  | Some path, Some file_format -> (
+    match Objdump_parse.machine_of_format file_format with
+    | None -> Error ("description: unknown file format: " ^ file_format)
+    | Some (machine, elf_class) ->
+      let verneeds =
+        match member "verneeds" json with
+        | Some (Obj fields) ->
+          List.map
+            (fun (file, versions) ->
+              ( file,
+                match to_list_opt versions with
+                | None -> []
+                | Some vs -> List.filter_map to_string_opt vs ))
+            fields
+        | _ -> []
+      in
+      let needed = str_list "needed" in
+      Ok
+        {
+          path;
+          file_format;
+          machine;
+          elf_class;
+          soname = Option.bind (str "soname") Soname.of_string;
+          needed;
+          rpath = str "rpath";
+          runpath = str "runpath";
+          verneeds;
+          required_glibc = required_glibc_of_verneeds verneeds;
+          mpi = Mpi_ident.identify needed;
+          provenance =
+            {
+              Objdump_parse.compiler_banner = str "compiler";
+              build_os = str "build_os";
+            };
+        })
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>binary: %s@ format: %s@ soname: %a@ needed: %a@ required C library: \

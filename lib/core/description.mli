@@ -40,4 +40,11 @@ val of_dynamic_info :
   Objdump_parse.dynamic_info ->
   (t, string) result
 
+(** JSON round-trip for the flight recorder's journal: primitives are
+    stored, derived fields recomputed by {!of_json} (same contract as
+    the bundle format). *)
+val to_json : t -> Feam_util.Json.t
+
+val of_json : Feam_util.Json.t -> (t, string) result
+
 val pp : t Fmt.t

@@ -42,6 +42,12 @@ let level_to_string = function
   | Warn -> "warn"
   | Info -> "info"
 
+let level_of_string = function
+  | "error" -> Some Error
+  | "warn" -> Some Warn
+  | "info" -> Some Info
+  | _ -> None
+
 let level_rank = function Error -> 0 | Warn -> 1 | Info -> 2
 
 (* Severe first, then by rule id and subject: a stable presentation

@@ -31,6 +31,9 @@ type finding = {
 
 val level_to_string : level -> string
 
+(** Inverse of {!level_to_string} (journal replay). *)
+val level_of_string : string -> level option
+
 (** Error < Warn < Info. *)
 val level_rank : level -> int
 

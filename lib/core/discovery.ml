@@ -31,6 +31,18 @@ let via_to_string = function
   | Softenv -> "SoftEnv"
   | Path_search -> "path search"
 
+(* Machine-readable discovery-method slugs (journal serialization). *)
+let via_slug = function
+  | Modules -> "modules"
+  | Softenv -> "softenv"
+  | Path_search -> "path-search"
+
+let via_of_slug = function
+  | "modules" -> Some Modules
+  | "softenv" -> Some Softenv
+  | "path-search" -> Some Path_search
+  | _ -> None
+
 (* Parse a stack slug of the conventional "impl-version-compiler" shape.
    Real sites reveal stacks through exactly such naming (paper §V.B:
    "/opt/openmpi-1.4.3-intel/lib/libmpi.so reveals that Open MPI is
@@ -53,6 +65,63 @@ let parse_stack_slug ~via slug =
       in
       Some { slug; impl; impl_version; compiler_family; discovered_via = via })
   | [] -> None
+
+(* JSON round-trip for the flight recorder's journal: stacks are
+   stored as slug + discovery method and re-derived through
+   [parse_stack_slug] on load, mirroring the bundle format. *)
+
+let stack_to_json s =
+  Json.Obj
+    [ ("slug", Json.Str s.slug); ("via", Json.Str (via_slug s.discovered_via)) ]
+
+let stack_of_json json =
+  let str key = Option.bind (Json.member key json) Json.to_string_opt in
+  match str "slug" with
+  | None -> None
+  | Some slug ->
+    let via =
+      match Option.bind (str "via") via_of_slug with
+      | Some via -> via
+      | None -> Modules
+    in
+    parse_stack_slug ~via slug
+
+let to_json t =
+  let open Json in
+  let opt f = function None -> Null | Some v -> Str (f v) in
+  Obj
+    [
+      ( "env_type",
+        Str (match t.env_type with `Target -> "target" | `Guaranteed -> "guaranteed") );
+      ("machine", opt Feam_elf.Types.machine_uname t.machine);
+      ("os", opt Fun.id t.os);
+      ("kernel", opt Fun.id t.kernel);
+      ("glibc", opt Version.to_string t.glibc);
+      ("stacks", List (List.map stack_to_json t.stacks));
+      ( "current_stack",
+        match t.current_stack with None -> Null | Some s -> stack_to_json s );
+    ]
+
+let of_json json =
+  let str key = Option.bind (Json.member key json) Json.to_string_opt in
+  let machine = Option.bind (str "machine") Feam_elf.Types.machine_of_uname in
+  Ok
+    {
+      env_type =
+        (match str "env_type" with
+        | Some "guaranteed" -> `Guaranteed
+        | _ -> `Target);
+      machine;
+      elf_class = Option.map Feam_elf.Types.machine_class machine;
+      os = str "os";
+      kernel = str "kernel";
+      glibc = Option.bind (str "glibc") Version.of_string;
+      stacks =
+        (match Option.bind (Json.member "stacks" json) Json.to_list_opt with
+        | None -> []
+        | Some items -> List.filter_map stack_of_json items);
+      current_stack = Option.bind (Json.member "current_stack" json) stack_of_json;
+    }
 
 let pp_stack ppf s =
   Fmt.pf ppf "%s [%s%s, via %s]" (Impl.name s.impl)

@@ -25,10 +25,23 @@ type t = {
 
 val via_to_string : via -> string
 
+(** Machine-readable discovery-method slugs (journal serialization). *)
+val via_slug : via -> string
+
+val via_of_slug : string -> via option
+
 (** Parse a stack slug of the conventional "impl-version-compiler" shape,
     as real sites' path naming reveals (paper §V.B).  [None] when the
     first component is not a known MPI implementation. *)
 val parse_stack_slug : via:via -> string -> discovered_stack option
+
+(** JSON round-trip for the flight recorder's journal: stacks stored
+    as slug + discovery method, re-derived on load (same contract as
+    the bundle format).  [of_json] is total over objects — absent or
+    malformed fields degrade to [None]/[[]]. *)
+val to_json : t -> Feam_util.Json.t
+
+val of_json : Feam_util.Json.t -> (t, string) result
 
 val pp_stack : discovered_stack Fmt.t
 val pp : t Fmt.t

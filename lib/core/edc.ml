@@ -164,14 +164,57 @@ let discover ?clock ~env_type site env =
         ("env", Feam_obs.Span.Str env_label);
       ]
   @@ fun () ->
+  (* Each discovered environment fact is journaled as evidence where it
+     was found, inside its own sub-span. *)
   let sub name f = Feam_obs.Trace.with_span name f in
-  let machine = sub "edc.isa" (fun () -> discover_isa ?clock site) in
-  let os = sub "edc.os" (fun () -> discover_os ?clock site) in
-  let kernel = sub "edc.kernel" (fun () -> discover_kernel ?clock site) in
-  let glibc = sub "edc.glibc" (fun () -> discover_glibc ?clock site) in
-  let stacks = sub "edc.stacks" (fun () -> discover_stacks ?clock site) in
+  let fact kind value =
+    Feam_flightrec.Recorder.evidence ~stage:"edc" ~kind
+      [
+        ("env", Json.Str env_label);
+        ("value", match value with Some v -> Json.Str v | None -> Json.Null);
+      ]
+  in
+  let machine =
+    sub "edc.isa" (fun () ->
+        let m = discover_isa ?clock site in
+        fact "isa" (Option.map Feam_elf.Types.machine_uname m);
+        m)
+  in
+  let os =
+    sub "edc.os" (fun () ->
+        let os = discover_os ?clock site in
+        fact "os" os;
+        os)
+  in
+  let kernel =
+    sub "edc.kernel" (fun () ->
+        let k = discover_kernel ?clock site in
+        fact "kernel" k;
+        k)
+  in
+  let glibc =
+    sub "edc.glibc" (fun () ->
+        let g = discover_glibc ?clock site in
+        fact "glibc" (Option.map Version.to_string g);
+        g)
+  in
+  let stacks =
+    sub "edc.stacks" (fun () ->
+        let stacks = discover_stacks ?clock site in
+        Feam_flightrec.Recorder.evidence ~stage:"edc" ~kind:"stacks"
+          [
+            ("env", Json.Str env_label);
+            ( "value",
+              Json.List
+                (List.map (fun s -> Json.Str s.Discovery.slug) stacks) );
+          ];
+        stacks)
+  in
   let current_stack =
-    sub "edc.current_stack" (fun () -> discover_current_stack ?clock site env)
+    sub "edc.current_stack" (fun () ->
+        let c = discover_current_stack ?clock site env in
+        fact "current_stack" (Option.map (fun s -> s.Discovery.slug) c);
+        c)
   in
   Feam_obs.Metrics.incr "edc.discoveries" ~labels:[ ("env", env_label) ];
   Feam_obs.Trace.set_attr "stacks" (Feam_obs.Span.Int (List.length stacks));

@@ -33,9 +33,15 @@ let source_phase ?clock _config site env ~binary_path =
       Feam_obs.Trace.set_attr "sim_s"
         (Feam_obs.Span.Float (Feam_util.Sim_clock.elapsed c -. sim_before))
     | None -> ());
-    Feam_obs.Metrics.incr "phases.source"
-      ~labels:
-        [ ("result", match result with Ok _ -> "ok" | Error _ -> "error") ];
+    let outcome = match result with Ok _ -> "ok" | Error _ -> "error" in
+    Feam_obs.Metrics.incr "phases.source" ~labels:[ ("result", outcome) ];
+    Feam_flightrec.Recorder.record "phase"
+      ~fields:
+        [
+          ("phase", Feam_util.Json.Str "source");
+          ("site", Feam_util.Json.Str (Site.name site));
+          ("result", Feam_util.Json.Str outcome);
+        ];
     result
   in
   Log.info (fun m ->
@@ -154,9 +160,15 @@ let target_phase ?clock config site env ?bundle ?binary_path () =
       Feam_obs.Trace.set_attr "sim_s"
         (Feam_obs.Span.Float (Feam_util.Sim_clock.elapsed c -. sim_before))
     | None -> ());
-    Feam_obs.Metrics.incr "phases.target"
-      ~labels:
-        [ ("result", match result with Ok _ -> "ok" | Error _ -> "error") ];
+    let outcome = match result with Ok _ -> "ok" | Error _ -> "error" in
+    Feam_obs.Metrics.incr "phases.target" ~labels:[ ("result", outcome) ];
+    Feam_flightrec.Recorder.record "phase"
+      ~fields:
+        [
+          ("phase", Feam_util.Json.Str "target");
+          ("site", Feam_util.Json.Str (Site.name site));
+          ("result", Feam_util.Json.Str outcome);
+        ];
     result
   in
   finish
@@ -201,11 +213,21 @@ let target_phase ?clock config site env ?bundle ?binary_path () =
     Log.info (fun m ->
         m "target phase at %s for %s" (Site.name site)
           description.Description.path);
+    Feam_flightrec.Recorder.record "run"
+      ~fields:
+        [
+          ("site", Feam_util.Json.Str (Site.name site));
+          ("binary", Feam_util.Json.Str description.Description.path);
+          ("extended", Feam_util.Json.Bool (bundle <> None));
+        ];
     let discovery = Edc.discover ?clock ~env_type:`Target site env in
     let input =
       { Tec.config; description; binary_path; bundle; discovery }
     in
     let prediction = Tec.evaluate ?clock site env input in
-    Ok
-      (Report.make ~site_name:(Site.name site)
-         ~binary:description.Description.path prediction)
+    let report =
+      Report.make ~site_name:(Site.name site)
+        ~binary:description.Description.path prediction
+    in
+    Report.journal report;
+    Ok report

@@ -1,0 +1,148 @@
+(* Deterministic replay: re-run the TEC's decision core purely from a
+   journal's recorded evidence — no BDC description, no EDC discovery,
+   no probes, no staging.  Because live evaluation and replay share the
+   single pure [Tec.decide], a faithful journal reproduces the original
+   report byte-for-byte; the journal is thereby a regression oracle for
+   every future change to the prediction model's inputs handling. *)
+
+open Feam_util
+module Journal = Feam_flightrec.Journal
+
+type outcome = {
+  report : Report.t; (* rebuilt from recorded evidence *)
+  rendered : string; (* Report.render of the rebuilt report *)
+  recorded : string option; (* the report text the journal recorded *)
+  matches : bool; (* rendered = recorded, byte for byte *)
+}
+
+let ( let* ) = Result.bind
+
+let payload_exn ~kind journal =
+  match Journal.payload ~kind journal with
+  | Some data -> Ok data
+  | None -> Error (Printf.sprintf "journal carries no %s payload" kind)
+
+let parse_config journal =
+  let* data = payload_exn ~kind:"config" journal in
+  match Json.to_string_opt data with
+  | None -> Error "config payload is not a string"
+  | Some body -> (
+    match Config.of_file_body body with
+    | Ok config -> Ok config
+    | Error errs -> Error ("config payload: " ^ String.concat "; " errs))
+
+let str_member key json = Option.bind (Json.member key json) Json.to_string_opt
+
+let list_member key json =
+  match Option.bind (Json.member key json) Json.to_list_opt with
+  | None -> []
+  | Some items -> items
+
+(* Recorded outcome of the MPI-stack determinant, when the journal
+   reached it. *)
+let stack_evidence journal =
+  match Journal.last_decision ~determinant:"mpi_stack" journal with
+  | None -> None
+  | Some r ->
+    let ev = Option.value (Journal.field "evidence" r) ~default:(Json.Obj []) in
+    Some
+      {
+        Tec.se_functioning = str_member "functioning" ev;
+        se_probe_failures =
+          list_member "probe_failures" ev
+          |> List.filter_map (fun f ->
+                 match (str_member "stack" f, str_member "reason" f) with
+                 | Some stack, Some reason -> Some (stack, reason)
+                 | _ -> None);
+      }
+
+(* Recorded outcome of the shared-library determinant. *)
+let libs_evidence journal =
+  match Journal.last_decision ~determinant:"shared_libraries" journal with
+  | None -> None
+  | Some r ->
+    let ev = Option.value (Journal.field "evidence" r) ~default:(Json.Obj []) in
+    let pairs key a b =
+      list_member key ev
+      |> List.filter_map (fun item ->
+             match (str_member a item, str_member b item) with
+             | Some x, Some y -> Some (x, y)
+             | _ -> None)
+    in
+    Some
+      {
+        Tec.le_missing =
+          list_member "missing" ev |> List.filter_map Json.to_string_opt;
+        le_staged = pairs "staged" "library" "path";
+        le_unresolved = pairs "unresolved" "library" "reason";
+      }
+
+let finding_of_json json =
+  match (str_member "rule" json, str_member "subject" json) with
+  | Some rule_id, Some subject ->
+    Some
+      {
+        Diagnose.rule_id;
+        level =
+          Option.value
+            (Option.bind (str_member "level" json) Diagnose.level_of_string)
+            ~default:Diagnose.Info;
+        subject;
+        message = Option.value (str_member "message" json) ~default:"";
+        fixit = str_member "fixit" json;
+      }
+  | _ -> None
+
+(* [of_journal journal] rebuilds the run's report from recorded
+   evidence and compares it against the report text the journal itself
+   recorded. *)
+let of_journal journal =
+  let* config = parse_config journal in
+  let* description =
+    let* data = payload_exn ~kind:"description" journal in
+    Description.of_json data
+  in
+  let* discovery =
+    let* data = payload_exn ~kind:"discovery" journal in
+    Discovery.of_json data
+  in
+  let report_record = Journal.last ~kind:"report" journal in
+  let site_name =
+    let from_run =
+      Option.bind (Journal.last ~kind:"run" journal) (Journal.str_field "site")
+    in
+    let from_report = Option.bind report_record (Journal.str_field "site") in
+    match (from_run, from_report) with
+    | Some s, _ | None, Some s -> Some s
+    | None, None -> None
+  in
+  match site_name with
+  | None -> Error "journal carries neither a run nor a report record"
+  | Some site_name ->
+    let binary =
+      match Option.bind report_record (Journal.str_field "binary") with
+      | Some b -> b
+      | None -> description.Description.path
+    in
+    let findings =
+      match report_record with
+      | None -> []
+      | Some r -> (
+        match Journal.field "findings" r with
+        | Some (Json.List items) -> List.filter_map finding_of_json items
+        | _ -> [])
+    in
+    let prediction =
+      Tec.decide ~config ~description ~discovery
+        ?stack:(stack_evidence journal) ?libs:(libs_evidence journal) ()
+    in
+    let report =
+      Report.with_findings
+        (Report.make ~site_name ~binary prediction)
+        findings
+    in
+    let rendered = Report.render report in
+    let recorded =
+      Option.bind report_record (Journal.str_field "text")
+    in
+    Ok { report; rendered; recorded; matches = recorded = Some rendered }

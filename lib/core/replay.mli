@@ -1,0 +1,16 @@
+(** Deterministic replay: re-run the TEC's pure decision core from a
+    journal's recorded evidence — no discovery, no probes, no staging.
+    Live evaluation and replay share the single {!Tec.decide}, so a
+    faithful journal reproduces the original report byte-for-byte. *)
+
+type outcome = {
+  report : Report.t;  (** rebuilt from recorded evidence *)
+  rendered : string;  (** {!Report.render} of the rebuilt report *)
+  recorded : string option;  (** the report text the journal recorded *)
+  matches : bool;  (** [rendered] equals [recorded], byte for byte *)
+}
+
+(** Rebuild the run's report from a parsed journal and compare it with
+    the journal's own recorded report text.  Errors when the journal
+    lacks the config/description/discovery payloads replay needs. *)
+val of_journal : Feam_flightrec.Journal.t -> (outcome, string) result

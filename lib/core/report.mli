@@ -38,3 +38,8 @@ val to_json : t -> Feam_util.Json.t
 
 (** Render the full human-readable report. *)
 val render : t -> string
+
+(** Journal the finished report to the flight recorder: the recorded
+    text is the byte-level target [feam replay] must reproduce.
+    Call again after {!with_findings} — replay reads the last record. *)
+val journal : t -> unit

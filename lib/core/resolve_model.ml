@@ -168,4 +168,27 @@ let resolve ?clock config site env ~(bundle : Bundle.t) ~target_glibc
   in
   Feam_obs.Trace.set_attr "staged" (Feam_obs.Span.Int (List.length !staged));
   Feam_obs.Trace.set_attr "failed" (Feam_obs.Span.Int (List.length !failed));
-  { staged = List.rev !staged; failed = List.rev !failed; env }
+  let outcome = { staged = List.rev !staged; failed = List.rev !failed; env } in
+  Feam_flightrec.Recorder.decision ~determinant:"resolve"
+    ~verdict:(if outcome.failed = [] then "pass" else "fail")
+    [
+      ("missing", Json.List (List.map (fun m -> Json.Str m) missing));
+      ( "staged",
+        Json.List
+          (List.map
+             (fun (name, path) ->
+               Json.Obj [ ("library", Json.Str name); ("path", Json.Str path) ])
+             outcome.staged) );
+      ( "rejected",
+        Json.List
+          (List.map
+             (fun (name, r) ->
+               Json.Obj
+                 [
+                   ("library", Json.Str name);
+                   ("reason", Json.Str (rejection_slug r));
+                   ("detail", Json.Str (rejection_to_string r));
+                 ])
+             outcome.failed) );
+    ];
+  outcome

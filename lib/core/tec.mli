@@ -16,6 +16,20 @@ type input = {
   discovery : Discovery.t;
 }
 
+(** Recorded outcome of the MPI-stack determinant's effects: which
+    advertised stack passed probes, and why the others failed. *)
+type stack_evidence = {
+  se_functioning : string option;
+  se_probe_failures : (string * string) list;  (** slug, failure detail *)
+}
+
+(** Recorded outcome of the shared-library determinant's effects. *)
+type libs_evidence = {
+  le_missing : string list;
+  le_staged : (string * string) list;  (** needed name -> staged path *)
+  le_unresolved : (string * string) list;  (** name, why it failed *)
+}
+
 (** Compiler family of the binary, inferred from its .comment provenance;
     used to order candidate stacks so matching runtimes are preferred. *)
 val binary_compiler_family : Description.t -> Feam_mpi.Compiler.family option
@@ -24,6 +38,21 @@ val binary_compiler_family : Description.t -> Feam_mpi.Compiler.family option
     matching compiler family first. *)
 val candidate_stacks :
   Description.t -> Discovery.t -> Discovery.discovered_stack list
+
+(** The pure decision core, shared between live evaluation and
+    `feam replay`: computes the prediction from the description, the
+    discovery, and the recorded outcomes of the effectful steps.
+    Stack/library evidence required by the decision but absent (a
+    truncated or tampered journal) yields an explicit
+    "incomplete evidence" not-ready verdict. *)
+val decide :
+  config:Config.t ->
+  description:Description.t ->
+  discovery:Discovery.t ->
+  ?stack:stack_evidence ->
+  ?libs:libs_evidence ->
+  unit ->
+  Predict.t
 
 (** Run the full evaluation. *)
 val evaluate :

@@ -103,10 +103,50 @@ let run site env (root : Feam_elf.Spec.t) =
     check_object "a.out" root
     @ List.concat_map (fun r -> check_object r.lib_name r.lib_spec) resolved
   in
-  {
-    root_spec = root;
-    resolved;
-    missing = List.rev !missing;
-    arch_mismatches = List.rev !arch_mismatches;
-    version_failures;
-  }
+  let result =
+    {
+      root_spec = root;
+      resolved;
+      missing = List.rev !missing;
+      arch_mismatches = List.rev !arch_mismatches;
+      version_failures;
+    }
+  in
+  (* Journal the resolution: the load order with each provider's scope
+     position is the evidence the version check and symcheck verdicts
+     rest on. *)
+  let open Feam_util in
+  Feam_flightrec.Recorder.evidence ~stage:"dynlinker" ~kind:"resolve"
+    [
+      ( "resolved",
+        Json.List
+          (List.mapi
+             (fun pos r ->
+               Json.Obj
+                 [
+                   ("library", Json.Str r.lib_name);
+                   ("path", Json.Str r.lib_path);
+                   ("position", Json.Int pos);
+                 ])
+             result.resolved) );
+      ("missing", Json.List (List.map (fun m -> Json.Str m) result.missing));
+      ( "arch_mismatches",
+        Json.List
+          (List.map (fun m -> Json.Str m.am_lib) result.arch_mismatches) );
+      ( "version_failures",
+        Json.List
+          (List.map
+             (fun vf ->
+               Json.Obj
+                 [
+                   ("object", Json.Str vf.vf_object);
+                   ("provider", Json.Str vf.vf_provider);
+                   ( "provider_position",
+                     match vf.vf_scope_pos with
+                     | Some p -> Json.Int p
+                     | None -> Json.Null );
+                   ("version", Json.Str vf.vf_version);
+                 ])
+             result.version_failures) );
+    ];
+  result

@@ -1,0 +1,33 @@
+(** Cross-run prediction diffing: align two journals by determinant
+    and pin which evidence atom changed and which determinant flipped
+    the verdict. *)
+
+type change = {
+  path : string;  (** dotted path of the evidence atom *)
+  a : string option;  (** value in the first journal, if present *)
+  b : string option;  (** value in the second journal, if present *)
+}
+
+type determinant_diff = {
+  dd_determinant : string;
+  dd_verdict_a : string option;
+  dd_verdict_b : string option;
+  dd_flipped : bool;  (** the determinant's verdict changed *)
+  dd_changes : change list;  (** evidence atoms that moved *)
+}
+
+type t = {
+  run_changes : change list;
+  description_changes : change list;
+  discovery_changes : change list;
+  determinants : determinant_diff list;
+      (** only determinants with a flip or evidence change *)
+  report_a : string option;  (** overall verdict, "ready"/"not ready" *)
+  report_b : string option;
+}
+
+val compare : Journal.t -> Journal.t -> t
+val is_empty : t -> bool
+val report_flipped : t -> bool
+val render_text : t -> string
+val to_json : t -> Feam_util.Json.t

@@ -1,0 +1,16 @@
+(* Feam_flightrec — the flight recorder: an evidence journal for every
+   pipeline run, deterministic replay from recorded evidence, and
+   cross-run prediction diffing.
+
+   Where `feam.obs` says what FEAM did and how long it took, this
+   layer says *why*: every determinant verdict is journaled with the
+   concrete evidence consulted (the objdump/readelf/ldd facts from the
+   BDC, the EDC environment facts, provider positions from resolution
+   and the symbol checker), linked to the obs span that produced it.
+   The journal carries no timestamps, so identical inputs produce
+   byte-identical journals — the property `feam replay` leans on to be
+   a regression oracle and `feam diff` leans on to be noise-free. *)
+
+module Recorder = Recorder
+module Journal = Journal
+module Diff = Diff

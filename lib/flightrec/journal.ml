@@ -1,0 +1,125 @@
+(* Parsed journals: the read side of the flight recorder.  A journal
+   is a JSONL document — a header line identifying the schema, then
+   one record per line.  Unknown record types are preserved verbatim
+   so newer journals degrade gracefully under older readers. *)
+
+module Json = Feam_util.Json
+
+type record = {
+  seq : int;
+  span : int option;
+  kind : string;
+  fields : (string * Json.t) list; (* everything but type/seq/span *)
+}
+
+type t = { schema : int; tool : string; records : record list }
+
+let parse_record line_no json =
+  match json with
+  | Json.Obj fields ->
+    let kind =
+      match List.assoc_opt "type" fields with
+      | Some (Json.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "line %d: record has no type" line_no)
+    in
+    let seq =
+      match List.assoc_opt "seq" fields with
+      | Some (Json.Int n) -> Ok n
+      | _ -> Error (Printf.sprintf "line %d: record has no seq" line_no)
+    in
+    let span =
+      match List.assoc_opt "span" fields with
+      | Some (Json.Int n) -> Some n
+      | _ -> None
+    in
+    (match (kind, seq) with
+    | Ok kind, Ok seq ->
+      let fields =
+        List.filter
+          (fun (k, _) -> k <> "type" && k <> "seq" && k <> "span")
+          fields
+      in
+      Ok { seq; span; kind; fields }
+    | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | _ -> Error (Printf.sprintf "line %d: record is not an object" line_no)
+
+let parse body =
+  let lines =
+    String.split_on_char '\n' body
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty journal"
+  | header :: rest -> (
+    match Json.parse header with
+    | Error e -> Error ("journal header: " ^ e)
+    | Ok h -> (
+      match Json.member "type" h with
+      | Some (Json.Str "journal") -> (
+        let schema =
+          match Json.member "schema" h with
+          | Some (Json.Int n) -> Some n
+          | _ -> None
+        in
+        match schema with
+        | None -> Error "journal header: missing schema version"
+        | Some schema when schema > Recorder.schema_version ->
+          Error
+            (Printf.sprintf
+               "journal schema %d is newer than this build understands (%d)"
+               schema Recorder.schema_version)
+        | Some schema ->
+          let tool =
+            match Json.member "tool" h with
+            | Some (Json.Str s) -> s
+            | _ -> ""
+          in
+          let rec records line_no acc = function
+            | [] -> Ok (List.rev acc)
+            | line :: rest -> (
+              match Json.parse line with
+              | Error e ->
+                Error (Printf.sprintf "line %d: %s" line_no e)
+              | Ok json -> (
+                match parse_record line_no json with
+                | Error _ as e -> e
+                | Ok r -> records (line_no + 1) (r :: acc) rest))
+          in
+          (match records 2 [] rest with
+          | Error _ as e -> e
+          | Ok records -> Ok { schema; tool; records }))
+      | _ -> Error "not a feam journal (missing {\"type\":\"journal\"} header)"))
+
+(* Accessors. *)
+
+let find_all ~kind t = List.filter (fun r -> r.kind = kind) t.records
+
+let find ~kind t = List.find_opt (fun r -> r.kind = kind) t.records
+
+let last ~kind t =
+  List.fold_left
+    (fun acc r -> if r.kind = kind then Some r else acc)
+    None t.records
+
+let field key r = List.assoc_opt key r.fields
+
+let str_field key r =
+  match field key r with Some (Json.Str s) -> Some s | _ -> None
+
+(* Decision records for a determinant, in journal order; the last one
+   is the verdict that stood. *)
+let decisions ~determinant t =
+  find_all ~kind:"decision" t
+  |> List.filter (fun r -> str_field "determinant" r = Some determinant)
+
+let last_decision ~determinant t =
+  match List.rev (decisions ~determinant t) with [] -> None | r :: _ -> Some r
+
+(* The [data] of the last payload record of the given kind. *)
+let payload ~kind t =
+  find_all ~kind:"payload" t
+  |> List.filter (fun r -> str_field "kind" r = Some kind)
+  |> List.rev
+  |> function
+  | [] -> None
+  | r :: _ -> field "data" r

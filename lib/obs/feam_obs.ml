@@ -39,12 +39,26 @@ let sink_of_format ~emit = function
 let configure ?clock ~emit format =
   Trace.configure ?clock (sink_of_format ~emit format)
 
-let flush = Trace.flush
+(* Flush hooks: other sinks that buffer output (the flight recorder's
+   journal, for one) register here, keyed so re-registration replaces
+   rather than duplicates.  [flush] then drains *every* buffered
+   output in one idempotent call — the single helper every CLI exit
+   path is expected to use before [exit]. *)
+let hooks : (string * (unit -> unit)) list ref = ref []
+
+let on_flush ~key f = hooks := (key, f) :: List.remove_assoc key !hooks
+
+let remove_flush_hook key = hooks := List.remove_assoc key !hooks
+
+let flush () =
+  Trace.flush ();
+  List.iter (fun (_, f) -> f ()) !hooks
 
 (* Back to the pristine no-op state (tests). *)
 let reset () =
   Trace.disable ();
-  Metrics.reset ()
+  Metrics.reset ();
+  hooks := []
 
 (* Simulated seconds, bucketed against the paper's five-minute phase
    budget (§VI.C). *)

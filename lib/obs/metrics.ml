@@ -24,6 +24,15 @@ type entry = {
 
 let registry : (string, entry) Hashtbl.t = Hashtbl.create 64
 
+(* Recording can be switched off mid-run (e.g. to freeze a snapshot
+   while later pipeline stages keep executing); writes become no-ops
+   but reads keep working.  [reset] re-enables. *)
+let enabled = ref true
+
+let set_enabled v = enabled := v
+
+let is_enabled () = !enabled
+
 let key name labels =
   match labels with
   | [] -> name
@@ -48,41 +57,45 @@ let find_or_add name labels make =
     metric
 
 let incr ?(by = 1) ?(labels = []) name =
-  match find_or_add name labels (fun () -> Counter (ref 0)) with
-  | Counter c -> c := !c + by
-  | Gauge _ | Histogram _ ->
-    invalid_arg ("Metrics.incr: " ^ name ^ " is not a counter")
+  if !enabled then
+    match find_or_add name labels (fun () -> Counter (ref 0)) with
+    | Counter c -> c := !c + by
+    | Gauge _ | Histogram _ ->
+      invalid_arg ("Metrics.incr: " ^ name ^ " is not a counter")
 
 let set_gauge ?(labels = []) name v =
-  match find_or_add name labels (fun () -> Gauge (ref 0.0)) with
-  | Gauge g -> g := v
-  | Counter _ | Histogram _ ->
-    invalid_arg ("Metrics.set_gauge: " ^ name ^ " is not a gauge")
+  if !enabled then
+    match find_or_add name labels (fun () -> Gauge (ref 0.0)) with
+    | Gauge g -> g := v
+    | Counter _ | Histogram _ ->
+      invalid_arg ("Metrics.set_gauge: " ^ name ^ " is not a gauge")
 
 (* [bounds] only takes effect when the histogram is first created. *)
 let observe ?(labels = []) ?(bounds = default_bounds) name v =
-  let make () =
-    Histogram
-      {
-        bounds;
-        counts = Array.make (Array.length bounds + 1) 0;
-        sum = 0.0;
-        count = 0;
-      }
-  in
-  match find_or_add name labels make with
-  | Histogram h ->
-    let rec bucket i =
-      if i >= Array.length h.bounds then i
-      else if v <= h.bounds.(i) then i
-      else bucket (i + 1)
+  if !enabled then begin
+    let make () =
+      Histogram
+        {
+          bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          sum = 0.0;
+          count = 0;
+        }
     in
-    let i = bucket 0 in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.sum <- h.sum +. v;
-    h.count <- h.count + 1
-  | Counter _ | Gauge _ ->
-    invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
+    match find_or_add name labels make with
+    | Histogram h ->
+      let rec bucket i =
+        if i >= Array.length h.bounds then i
+        else if v <= h.bounds.(i) then i
+        else bucket (i + 1)
+      in
+      let i = bucket 0 in
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.sum <- h.sum +. v;
+      h.count <- h.count + 1
+    | Counter _ | Gauge _ ->
+      invalid_arg ("Metrics.observe: " ^ name ^ " is not a histogram")
+  end
 
 let counter_value ?(labels = []) name =
   match Hashtbl.find_opt registry (key name labels) with
@@ -96,7 +109,9 @@ let histogram_value ?(labels = []) name =
 
 let hist_mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
 
-let reset () = Hashtbl.reset registry
+let reset () =
+  Hashtbl.reset registry;
+  enabled := true
 
 (* Entries in stable (key-sorted) order, for rendering and tests. *)
 let snapshot () =

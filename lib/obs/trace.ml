@@ -39,6 +39,11 @@ let enabled () = st.enabled
 
 let now_ns () = st.clock ()
 
+(* Id of the innermost open span, if any — lets other subsystems (the
+   flight recorder) link their records back to the trace. *)
+let current_span_id () =
+  match st.stack with [] -> None | span :: _ -> Some span.Span.id
+
 (* Attach an attribute to the innermost open span (no-op outside one). *)
 let set_attr key value =
   match st.stack with

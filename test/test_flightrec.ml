@@ -1,0 +1,419 @@
+(* Tests for the flight recorder: the recorder's golden journal text
+   and idempotent flush, journal parsing (schema gate, malformed
+   input), the landmark records a real pipeline run journals, journal
+   determinism across identical runs, byte-for-byte replay, graceful
+   replay of a tampered journal, and cross-run diffing that pins the
+   changed evidence atom and the flipped determinant. *)
+
+open Feam_util
+module Recorder = Feam_flightrec.Recorder
+module Journal = Feam_flightrec.Journal
+module Diff = Feam_flightrec.Diff
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* Run [f] with the recorder armed; returns (result, journal text). *)
+let with_recorder ?(tool = "test") f =
+  let buf = Buffer.create 4096 in
+  Recorder.configure ~tool
+    ~emit:(fun body ->
+      Buffer.clear buf;
+      Buffer.add_string buf body)
+    ();
+  let result =
+    match f () with
+    | x ->
+      Recorder.flush ();
+      Recorder.disable ();
+      x
+    | exception e ->
+      Recorder.disable ();
+      raise e
+  in
+  (result, Buffer.contents buf)
+
+let parse_exn text =
+  match Journal.parse text with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "journal does not parse: %s" e
+
+(* -- recorder ----------------------------------------------------------- *)
+
+let test_recorder_golden () =
+  Feam_obs.reset ();
+  let emissions = ref [] in
+  Recorder.configure ~tool:"t" ~emit:(fun b -> emissions := b :: !emissions) ();
+  Recorder.evidence ~stage:"s" ~kind:"k" [ ("x", Json.Int 1) ];
+  Recorder.decision ~determinant:"d" ~verdict:"pass" [ ("y", Json.Str "z") ];
+  Recorder.payload ~kind:"p" (Json.Str "body");
+  Recorder.flush ();
+  Recorder.flush ();
+  Alcotest.(check int)
+    "second flush with no new records emits nothing" 1
+    (List.length !emissions);
+  let golden =
+    "{\"type\":\"journal\",\"schema\":1,\"tool\":\"t\"}\n"
+    ^ "{\"type\":\"evidence\",\"seq\":1,\"span\":null,\"stage\":\"s\",\
+       \"kind\":\"k\",\"x\":1}\n"
+    ^ "{\"type\":\"decision\",\"seq\":2,\"span\":null,\"determinant\":\"d\",\
+       \"verdict\":\"pass\",\"evidence\":{\"y\":\"z\"}}\n"
+    ^ "{\"type\":\"payload\",\"seq\":3,\"span\":null,\"kind\":\"p\",\
+       \"data\":\"body\"}\n"
+  in
+  Alcotest.(check string) "rendered journal" golden (List.hd !emissions);
+  (* metrics ride along: per-type record counters + size gauge *)
+  Alcotest.(check (option int))
+    "evidence records counted" (Some 1)
+    (Feam_obs.Metrics.counter_value
+       ~labels:[ ("type", "evidence") ]
+       "flightrec.records");
+  (* the obs-level flush drains the journal hook too *)
+  Recorder.record "extra";
+  Feam_obs.flush ();
+  Alcotest.(check int)
+    "Feam_obs.flush reaches the recorder" 2
+    (List.length !emissions);
+  Recorder.disable ();
+  Feam_obs.reset ()
+
+let test_disabled_recorder_is_silent () =
+  Feam_obs.reset ();
+  Alcotest.(check bool) "off by default" false (Recorder.enabled ());
+  Recorder.evidence ~stage:"s" ~kind:"k" [];
+  Recorder.flush ();
+  Alcotest.(check (option int))
+    "no metrics recorded while disabled" None
+    (Feam_obs.Metrics.counter_value
+       ~labels:[ ("type", "evidence") ]
+       "flightrec.records")
+
+(* -- journal parsing ----------------------------------------------------- *)
+
+let test_parse_rejects_bad_input () =
+  let reject label text =
+    match Journal.parse text with
+    | Ok _ -> Alcotest.failf "%s unexpectedly parsed" label
+    | Error _ -> ()
+  in
+  reject "empty input" "";
+  reject "non-journal document" "{\"type\":\"span\",\"id\":1}\n";
+  reject "garbage" "not json\n";
+  reject "journal from the future"
+    (Printf.sprintf "{\"type\":\"journal\",\"schema\":%d,\"tool\":\"t\"}\n"
+       (Recorder.schema_version + 1));
+  reject "malformed record line"
+    "{\"type\":\"journal\",\"schema\":1,\"tool\":\"t\"}\n{oops\n"
+
+let test_parse_roundtrip () =
+  Feam_obs.reset ();
+  let (), text =
+    with_recorder (fun () ->
+        Recorder.evidence ~stage:"s" ~kind:"k" [ ("x", Json.Int 1) ];
+        Recorder.record "custom" ~fields:[ ("f", Json.Bool true) ])
+  in
+  let j = parse_exn text in
+  Alcotest.(check int) "schema" Recorder.schema_version j.Journal.schema;
+  Alcotest.(check string) "tool" "test" j.Journal.tool;
+  Alcotest.(check int) "two records" 2 (List.length j.Journal.records);
+  (match Journal.find ~kind:"custom" j with
+  | Some r ->
+    Alcotest.(check int) "seq stamped" 2 r.Journal.seq;
+    Alcotest.(check (option bool))
+      "unknown record types are preserved with their fields" (Some true)
+      (Option.bind (Journal.field "f" r) Json.to_bool_opt)
+  | None -> Alcotest.fail "custom record lost");
+  Feam_obs.reset ()
+
+(* -- the pipeline's journal ---------------------------------------------- *)
+
+(* Source phase + extended target phase over two fixture sites — the
+   same work `feam predict --journal` records.  One system library is
+   deleted from the target so the resolution model does real work (and
+   journals its decision). *)
+let run_pipeline ?(target_glibc = "2.5") () =
+  let home, home_installs = Fixtures.small_site ~name:"fr-home" () in
+  let target, _ = Fixtures.small_site ~name:"fr-target" ~glibc:target_glibc () in
+  Feam_sysmodel.Vfs.remove (Feam_sysmodel.Site.vfs target) "/lib64/libnsl.so.1";
+  let path, install = Fixtures.compiled_binary home home_installs in
+  let env = Fixtures.session_env home install in
+  let config = Feam_core.Config.default in
+  match Feam_core.Phases.source_phase config home env ~binary_path:path with
+  | Error e -> Alcotest.failf "source phase failed: %s" e
+  | Ok bundle -> (
+    match
+      Feam_core.Phases.target_phase config target
+        (Feam_sysmodel.Site.base_env target)
+        ~bundle ()
+    with
+    | Error e -> Alcotest.failf "target phase failed: %s" e
+    | Ok report -> report)
+
+let journaled_run ?target_glibc () =
+  let report, text = with_recorder (run_pipeline ?target_glibc) in
+  (report, parse_exn text)
+
+let test_pipeline_journal_landmarks () =
+  Feam_obs.reset ();
+  let report, j = journaled_run () in
+  Alcotest.(check bool)
+    "pipeline predicted ready" true
+    (Feam_core.Predict.is_ready (Feam_core.Report.prediction report));
+  (* evidence from every gathering stage *)
+  let stages =
+    List.filter_map (Journal.str_field "stage") (Journal.find_all ~kind:"evidence" j)
+  in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        (Printf.sprintf "evidence from stage %s" stage)
+        true (List.mem stage stages))
+    [ "bdc"; "edc"; "probe"; "dynlinker" ];
+  (* a decision per determinant, plus resolution and the final verdict *)
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "decision for %s" d)
+        true
+        (Journal.last_decision ~determinant:d j <> None))
+    [ "isa"; "glibc"; "mpi_stack"; "shared_libraries"; "resolve"; "predict" ];
+  (* the payloads replay rebuilds the run from *)
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s payload present" kind)
+        true
+        (Journal.payload ~kind j <> None))
+    [ "config"; "description"; "discovery" ];
+  (* run + phase + report bookkeeping *)
+  Alcotest.(check bool) "run record" true (Journal.find ~kind:"run" j <> None);
+  Alcotest.(check int) "two phase records" 2
+    (List.length (Journal.find_all ~kind:"phase" j));
+  match Journal.last ~kind:"report" j with
+  | None -> Alcotest.fail "no report record"
+  | Some r ->
+    Alcotest.(check (option string))
+      "report names the target site" (Some "fr-target")
+      (Journal.str_field "site" r);
+    Alcotest.(check bool) "report text recorded" true
+      (Journal.str_field "text" r <> None)
+
+let test_identical_runs_journal_identically () =
+  Feam_obs.reset ();
+  let _, text_a = with_recorder (fun () -> run_pipeline ()) in
+  let _, text_b = with_recorder (fun () -> run_pipeline ()) in
+  Alcotest.(check string) "byte-identical journals" text_a text_b;
+  let d = Diff.compare (parse_exn text_a) (parse_exn text_b) in
+  Alcotest.(check bool) "diff of identical runs is empty" true (Diff.is_empty d);
+  Alcotest.(check string)
+    "and says so" "journal diff: no differences\n" (Diff.render_text d)
+
+(* -- replay -------------------------------------------------------------- *)
+
+let test_replay_reproduces_report () =
+  Feam_obs.reset ();
+  let report, j = journaled_run () in
+  match Feam_core.Replay.of_journal j with
+  | Error e -> Alcotest.failf "replay failed: %s" e
+  | Ok outcome ->
+    Alcotest.(check bool)
+      "replay matches the recorded report byte-for-byte" true
+      outcome.Feam_core.Replay.matches;
+    Alcotest.(check string)
+      "replayed text equals the live render"
+      (Feam_core.Report.render report)
+      outcome.Feam_core.Replay.rendered
+
+let test_replay_not_ready_run () =
+  Feam_obs.reset ();
+  (* an ancient target C library: the live run is not ready, and replay
+     must reproduce that report too *)
+  let report, j = journaled_run ~target_glibc:"2.0" () in
+  Alcotest.(check bool)
+    "live run not ready" false
+    (Feam_core.Predict.is_ready (Feam_core.Report.prediction report));
+  match Feam_core.Replay.of_journal j with
+  | Error e -> Alcotest.failf "replay failed: %s" e
+  | Ok outcome ->
+    Alcotest.(check bool)
+      "not-ready replay still matches byte-for-byte" true
+      outcome.Feam_core.Replay.matches
+
+let test_replay_tampered_journal () =
+  Feam_obs.reset ();
+  let _, j = journaled_run () in
+  (* flip the recorded MPI-stack outcome: no probe succeeded *)
+  let tampered_records =
+    List.map
+      (fun (r : Journal.record) ->
+        if
+          r.Journal.kind = "decision"
+          && Journal.str_field "determinant" r = Some "mpi_stack"
+        then
+          {
+            r with
+            Journal.fields =
+              [
+                ("determinant", Json.Str "mpi_stack");
+                ("verdict", Json.Str "fail");
+                ( "evidence",
+                  Json.Obj
+                    [ ("functioning", Json.Null); ("probe_failures", Json.List []) ]
+                );
+              ];
+          }
+        else r)
+      j.Journal.records
+  in
+  let tampered = { j with Journal.records = tampered_records } in
+  match Feam_core.Replay.of_journal tampered with
+  | Error e -> Alcotest.failf "tampered replay should still run: %s" e
+  | Ok outcome ->
+    Alcotest.(check bool)
+      "tampered evidence flips the replayed verdict" false
+      (Feam_core.Predict.is_ready
+         (Feam_core.Report.prediction outcome.Feam_core.Replay.report));
+    Alcotest.(check bool)
+      "and no longer matches the recorded text" false
+      outcome.Feam_core.Replay.matches
+
+let test_replay_requires_payloads () =
+  Feam_obs.reset ();
+  let _, j = journaled_run () in
+  let without_description =
+    {
+      j with
+      Journal.records =
+        List.filter
+          (fun (r : Journal.record) ->
+            not
+              (r.Journal.kind = "payload"
+              && Journal.str_field "kind" r = Some "description"))
+          j.Journal.records;
+    }
+  in
+  match Feam_core.Replay.of_journal without_description with
+  | Ok _ -> Alcotest.fail "replay without a description payload should error"
+  | Error e ->
+    Alcotest.(check bool)
+      "error names the missing payload" true
+      (contains ~affix:"description" e)
+
+(* -- diff ---------------------------------------------------------------- *)
+
+let test_diff_pins_changed_fact_and_flip () =
+  Feam_obs.reset ();
+  let _, a = journaled_run () in
+  let _, b = journaled_run ~target_glibc:"2.0" () in
+  let d = Diff.compare a b in
+  Alcotest.(check bool) "runs differ" false (Diff.is_empty d);
+  Alcotest.(check bool) "overall verdict flipped" true (Diff.report_flipped d);
+  (* the changed environment fact is pinned by name and both values *)
+  (match
+     List.find_opt (fun c -> c.Diff.path = "glibc") d.Diff.discovery_changes
+   with
+  | None -> Alcotest.fail "diff does not pin the discovery glibc atom"
+  | Some c ->
+    Alcotest.(check (option string)) "old value" (Some "2.5") c.Diff.a;
+    Alcotest.(check (option string)) "new value" (Some "2.0") c.Diff.b);
+  (* ...and the determinant it flipped *)
+  (match
+     List.find_opt
+       (fun dd -> dd.Diff.dd_determinant = "glibc")
+       d.Diff.determinants
+   with
+  | None -> Alcotest.fail "glibc determinant not in the diff"
+  | Some dd ->
+    Alcotest.(check bool) "glibc determinant flipped" true dd.Diff.dd_flipped;
+    Alcotest.(check (option string))
+      "verdict a" (Some "pass") dd.Diff.dd_verdict_a;
+    Alcotest.(check (option string))
+      "verdict b" (Some "fail") dd.Diff.dd_verdict_b);
+  (* the text rendering names fact and flip *)
+  let text = Diff.render_text d in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool)
+        (Printf.sprintf "text contains %S" affix)
+        true
+        (contains ~affix text))
+    [ "glibc: 2.5 -> 2.0"; "determinant glibc: pass -> fail  [FLIPPED]";
+      "verdict: ready -> not ready  [FLIPPED]" ];
+  (* and so does the JSON *)
+  let json = Diff.to_json d in
+  Alcotest.(check (option bool))
+    "json identical:false" (Some false)
+    (Option.bind (Json.member "identical" json) Json.to_bool_opt);
+  Alcotest.(check (option bool))
+    "json verdict.flipped" (Some true)
+    Option.(
+      bind
+        (bind (Json.member "verdict" json) (Json.member "flipped"))
+        Json.to_bool_opt)
+
+(* -- evalharness cell journals ------------------------------------------- *)
+
+let test_matrix_cell_journal_replays () =
+  Feam_obs.reset ();
+  let params = Feam_evalharness.Params.default in
+  let sites = Feam_evalharness.Sites.build_all params in
+  let binaries =
+    Feam_evalharness.Testset.build params sites [ List.hd Feam_suites.Npb.all ]
+  in
+  let binary = List.hd binaries in
+  let target =
+    match
+      List.find_opt
+        (fun s ->
+          Feam_sysmodel.Site.name s
+          <> Feam_sysmodel.Site.name binary.Feam_evalharness.Testset.home
+          && Feam_evalharness.Migrate.has_matching_impl binary s)
+        sites
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no matching target site in the eval world"
+  in
+  let written = ref [] in
+  let write ~name body = written := (name, body) :: !written in
+  let name = Feam_evalharness.Journals.journal_cell ~write binary target in
+  Alcotest.(check bool)
+    "writer received the named journal" true
+    (List.mem_assoc name !written);
+  let j = parse_exn (List.assoc name !written) in
+  Alcotest.(check string) "journaled by evaltool" "evaltool" j.Journal.tool;
+  match Feam_core.Replay.of_journal j with
+  | Error e -> Alcotest.failf "cell replay failed: %s" e
+  | Ok outcome ->
+    Alcotest.(check bool)
+      "matrix cell replays byte-for-byte" true
+      outcome.Feam_core.Replay.matches
+
+let suite =
+  ( "flightrec",
+    [
+      Alcotest.test_case "recorder golden + idempotent flush" `Quick
+        test_recorder_golden;
+      Alcotest.test_case "disabled recorder is silent" `Quick
+        test_disabled_recorder_is_silent;
+      Alcotest.test_case "parse rejects bad input" `Quick
+        test_parse_rejects_bad_input;
+      Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+      Alcotest.test_case "pipeline journal landmarks" `Quick
+        test_pipeline_journal_landmarks;
+      Alcotest.test_case "identical runs journal identically" `Quick
+        test_identical_runs_journal_identically;
+      Alcotest.test_case "replay reproduces the report" `Quick
+        test_replay_reproduces_report;
+      Alcotest.test_case "replay of a not-ready run" `Quick
+        test_replay_not_ready_run;
+      Alcotest.test_case "tampered journal replays gracefully" `Quick
+        test_replay_tampered_journal;
+      Alcotest.test_case "replay requires the payloads" `Quick
+        test_replay_requires_payloads;
+      Alcotest.test_case "diff pins the changed fact and flip" `Quick
+        test_diff_pins_changed_fact_and_flip;
+      Alcotest.test_case "matrix cell journal replays" `Quick
+        test_matrix_cell_journal_replays;
+    ] )

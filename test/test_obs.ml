@@ -121,6 +121,68 @@ let test_counter_label_normalization () =
     "label order does not split the series" (Some 3)
     (Metrics.counter_value ~labels:[ ("b", "2"); ("a", "1") ] "t.counter")
 
+let test_histogram_boundary_values () =
+  Metrics.reset ();
+  let bounds = [| 10.0; 20.0 |] in
+  (* a value exactly equal to a bound belongs to that bound's bucket
+     (bounds are inclusive upper edges), and the first value past the
+     last bound overflows *)
+  List.iter
+    (fun v -> Metrics.observe ~bounds "t.edge" v)
+    [ 10.0; 20.0; 20.0000001 ];
+  (match Metrics.histogram_value "t.edge" with
+  | None -> Alcotest.fail "histogram not registered"
+  | Some h ->
+    Alcotest.(check (array int))
+      "bound-exact values stay below their bound" [| 1; 1; 1 |] h.Metrics.counts);
+  (* a second observe with different bounds does not re-bucket: the
+     histogram keeps the bounds it was created with *)
+  Metrics.observe ~bounds:[| 1000.0 |] "t.edge" 15.0;
+  match Metrics.histogram_value "t.edge" with
+  | None -> Alcotest.fail "histogram vanished"
+  | Some h ->
+    Alcotest.(check (array int))
+      "creation-time bounds hold" [| 1; 2; 1 |] h.Metrics.counts
+
+let test_label_value_collision () =
+  Metrics.reset ();
+  (* the registry key is "name{k=v,...}": a label *value* containing
+     ",b=2" therefore collides with the distinct label set [a=1; b=2].
+     This characterizes the known flattening — both writes land in one
+     series rather than silently creating a second one. *)
+  Metrics.incr ~labels:[ ("a", "1,b=2") ] "t.collide";
+  Metrics.incr ~labels:[ ("a", "1"); ("b", "2") ] "t.collide";
+  Alcotest.(check (option int))
+    "colliding label sets share a series" (Some 2)
+    (Metrics.counter_value ~labels:[ ("a", "1,b=2") ] "t.collide");
+  Alcotest.(check int) "and only one series exists" 1
+    (List.length (Metrics.snapshot ()))
+
+let test_disable_mid_run () =
+  Metrics.reset ();
+  Alcotest.(check bool) "enabled after reset" true (Metrics.is_enabled ());
+  Metrics.incr "t.frozen";
+  Metrics.set_enabled false;
+  (* writes freeze; reads keep working *)
+  Metrics.incr ~by:5 "t.frozen";
+  Metrics.set_gauge "t.frozen_gauge" 2.0;
+  Metrics.observe "t.frozen_hist" 1.0;
+  Alcotest.(check (option int))
+    "counter frozen at its pre-disable value" (Some 1)
+    (Metrics.counter_value "t.frozen");
+  Alcotest.(check bool)
+    "disabled writes register nothing new" true
+    (Metrics.histogram_value "t.frozen_hist" = None);
+  Metrics.set_enabled true;
+  Metrics.incr "t.frozen";
+  Alcotest.(check (option int))
+    "re-enabling resumes counting" (Some 2)
+    (Metrics.counter_value "t.frozen");
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  Alcotest.(check bool) "reset re-enables the registry" true
+    (Metrics.is_enabled ())
+
 let test_with_sim_phase () =
   Feam_obs.reset ();
   let spans, sink = capture_sink () in
@@ -319,6 +381,12 @@ let suite =
       Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
       Alcotest.test_case "counter label normalization" `Quick
         test_counter_label_normalization;
+      Alcotest.test_case "histogram boundary values" `Quick
+        test_histogram_boundary_values;
+      Alcotest.test_case "label value collision" `Quick
+        test_label_value_collision;
+      Alcotest.test_case "disable mid-run freezes writes" `Quick
+        test_disable_mid_run;
       Alcotest.test_case "with_sim_phase" `Quick test_with_sim_phase;
       Alcotest.test_case "jsonl pipeline export" `Quick
         test_jsonl_pipeline_golden;
