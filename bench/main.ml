@@ -227,11 +227,66 @@ let bench_elf =
          in
          ignore (Feam_elf.Reader.parse (Feam_elf.Builder.build spec))))
 
+(* -- Depot benches: content hashing, store round-trip, matrix planning -- *)
+
+(* Payloads the hashing bench chews through: the fixture bundle's
+   library images. *)
+let depot_payloads =
+  List.map
+    (fun c -> c.Feam_core.Bdc.copy_bytes)
+    Fixture.bundle.Feam_core.Bundle.copies
+
+let bench_depot_hash =
+  Test.make ~name:"depot/content-hash"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun bytes -> ignore (Feam_depot.Chash.of_bytes bytes))
+           depot_payloads))
+
+let bench_depot_store =
+  Test.make ~name:"depot/store-roundtrip"
+    (Staged.stage (fun () ->
+         let store = Feam_depot.Store.create () in
+         let manifest =
+           Feam_core.Bundle_manifest.of_bundle store Fixture.bundle
+         in
+         ignore
+           (Result.get_ok (Feam_core.Bundle_manifest.to_bundle store manifest))))
+
+(* The full NAS+SPEC matrix's (target, wants) cells — built once, lazily,
+   so `bench tables` never pays for it; the bench then measures planning
+   every cell against a fresh per-site possession index. *)
+let depot_matrix_cells =
+  lazy
+    (let sites = Sites.build_all params in
+     let benchmarks = Feam_suites.Npb.all @ Feam_suites.Specmpi.all in
+     let binaries = Testset.build params sites benchmarks in
+     let stats = Depot_stats.run sites binaries in
+     List.map
+       (fun c -> (c.Depot_stats.dc_target, c.Depot_stats.dc_wants))
+       stats.Depot_stats.ds_cells)
+
+let bench_depot_plan =
+  Test.make ~name:"depot/plan-matrix"
+    (Staged.stage (fun () ->
+         let cells = Lazy.force depot_matrix_cells in
+         let possession = Feam_depot.Planner.Possession.create () in
+         List.iter
+           (fun (site, wants) ->
+             let plan =
+               Feam_depot.Planner.compute ~site
+                 ~possessed:(Feam_depot.Planner.Possession.mem possession ~site)
+                 wants
+             in
+             Feam_depot.Planner.Possession.commit possession plan)
+           cells))
+
 let all_benches =
   [
     bench_table1; bench_table2; bench_table3_basic; bench_table3_extended;
     bench_table4; bench_fig1; bench_fig2; bench_fig3; bench_fig4;
-    bench_timing; bench_elf;
+    bench_timing; bench_elf; bench_depot_hash; bench_depot_store;
+    bench_depot_plan;
   ]
 
 (* Machine-readable results, derived from the observability layer's
@@ -253,6 +308,7 @@ let headline_benches =
     ("bdc_description", "fig3/bdc-description");
     ("edc_discovery", "fig4/edc-discovery");
     ("both_phases", "fig2/both-phases");
+    ("depot_plan_matrix", "depot/plan-matrix");
   ]
 
 let mean_of name =

@@ -57,6 +57,11 @@ let run_eval seed verbose =
     (fun (site, bytes) ->
       Fmt.pr "  bundle at %-10s: %.1f MB@." site (Timing.mb bytes))
     (Timing.bundle_report sites binaries);
+  Fmt.pr "@.";
+  (* depot-backed transfer accounting: one shared content-addressed
+     store, one plan per matrix cell against the per-site possession
+     index (paper §VI.C ships the full bundle per cell) *)
+  print_string (Depot_stats.render (Depot_stats.run sites binaries));
   if verbose then begin
     (* mispredictions, grouped: false-ready by actual failure cause,
        then false-not-ready *)
@@ -119,6 +124,36 @@ let run_journal seed dir =
   Fmt.pr "Journaling migration-matrix cells...@.";
   let names = Journals.write_cells ~write sites binaries in
   Fmt.pr "wrote %d cell journals to %s@." (List.length names) dir
+
+(* --depot DIR: write the depot determinism artifacts — the shared
+   store's listing, every cell's transfer plan, the summary, and one
+   replayable plan journal.  Two runs at the same seed must produce
+   store.txt and plans.txt byte-identically (the CI depot job diffs
+   them). *)
+let run_depot seed dir =
+  let params = { Params.default with Params.seed } in
+  Fmt.pr "Provisioning the five Table II sites...@.";
+  let sites = Sites.build_all params in
+  Fmt.pr "Compiling benchmark corpus (NPB 2.4 + SPEC MPI2007)...@.";
+  let benchmarks = Feam_suites.Npb.all @ Feam_suites.Specmpi.all in
+  let binaries = Testset.build params sites benchmarks in
+  Fmt.pr "Planning depot transfers over the migration matrix...@.";
+  let stats = Depot_stats.run sites binaries in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write ~name body =
+    Out_channel.with_open_text (Filename.concat dir name) (fun oc ->
+        Out_channel.output_string oc body)
+  in
+  write ~name:"store.txt" (Feam_depot.Store.listing stats.Depot_stats.ds_store);
+  write ~name:"plans.txt" (Depot_stats.plans_text stats);
+  write ~name:"summary.txt" (Depot_stats.render stats);
+  let journal = Depot_stats.journal_plan ~write stats in
+  print_string (Depot_stats.render stats);
+  Fmt.pr "wrote depot artifacts to %s (%d cells planned%s)@." dir
+    (List.length stats.Depot_stats.ds_cells)
+    (match journal with
+    | Some name -> ", plan journal " ^ name
+    | None -> "")
 
 let run_sweep n_seeds =
   let aggregates =
@@ -216,15 +251,17 @@ let trace_out =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write the trace to FILE instead of the terminal.")
 
-let run seed verbose sweep_n ablation whatif journal_dir trace trace_out =
+let run seed verbose sweep_n ablation whatif journal_dir depot_dir trace
+    trace_out =
   setup_obs trace trace_out;
   (if ablation then run_ablation seed
    else if whatif then run_whatif seed
    else
-     match (journal_dir, sweep_n) with
-     | Some dir, _ -> run_journal seed dir
-     | None, Some n when n > 0 -> run_sweep n
-     | None, _ -> run_eval seed verbose);
+     match (depot_dir, journal_dir, sweep_n) with
+     | Some dir, _, _ -> run_depot seed dir
+     | None, Some dir, _ -> run_journal seed dir
+     | None, None, Some n when n > 0 -> run_sweep n
+     | None, None, _ -> run_eval seed verbose);
   Feam_obs.flush ()
 
 let ablation =
@@ -249,11 +286,22 @@ let journal_dir =
               cell, written to DIR (created if absent) and individually \
               replayable with 'feam replay'.")
 
+let depot_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "depot" ] ~docv:"DIR"
+        ~doc:"Instead of the evaluation tables, run the depot transfer \
+              planning over the migration matrix and write its determinism \
+              artifacts to DIR (created if absent): the shared store \
+              listing, every cell's plan, the summary, and one replayable \
+              plan journal.")
+
 let cmd =
   Cmd.v
     (Cmd.info "evaltool" ~doc:"Regenerate the FEAM paper's evaluation tables")
     Term.(
       const run $ seed $ verbose $ sweep $ ablation $ whatif $ journal_dir
-      $ trace $ trace_out)
+      $ depot_dir $ trace $ trace_out)
 
 let () = exit (Cmd.eval cmd)

@@ -308,11 +308,20 @@ let symbol_rules () =
     (fun r -> List.mem r.Feam_analysis.Rule.id symbol_rule_ids)
     (Feam_analysis.Registry.all ())
 
+(* Open (or start) a depot directory and hand back the store. *)
+let open_depot dir =
+  match Feam_depot.Store.open_dir dir with
+  | Ok store -> store
+  | Error e -> failwith (Printf.sprintf "cannot open depot %s: %s" dir e)
+
 (* The full prediction pipeline over a scenario — source phase at the
    home site, target phase (with optional lint findings) at the target —
-   shared by `feam predict` and `feam metrics`. *)
+   shared by `feam predict` and `feam metrics`.  With [depot_dir] the
+   target phase stages library copies through a persistent
+   content-addressed depot: objects already in the store are recognized
+   (depot.hit) and the store is saved back when the run completes. *)
 let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
-    scenario_name from_site to_site binary basic_only lint =
+    ?depot_dir scenario_name from_site to_site binary basic_only lint =
   let scenario = load_scenario scenario_name in
   let home =
     require_site scenario
@@ -342,6 +351,16 @@ let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
   Vfs.remove_tree (Site.vfs target) "/tmp/feam";
   let clock = Sim_clock.create () in
   let linted_bundle = ref None in
+  let depot_store =
+    Option.map (fun dir -> (dir, open_depot dir)) depot_dir
+  in
+  let depot =
+    Option.map
+      (fun (_, store) ->
+        Feam_core.Resolve_model.depot ~store
+          ~possession:(Feam_depot.Planner.Possession.create ()))
+      depot_store
+  in
   let result =
     if basic_only then begin
       (* stage the binary by hand, target phase only *)
@@ -352,8 +371,8 @@ let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
       in
       let staged = "/home/user/migrated/" ^ Vfs.basename home_path in
       Vfs.add (Site.vfs target) staged (Vfs.Elf bytes);
-      Feam_core.Phases.target_phase ~clock config target (Site.base_env target)
-        ~binary_path:staged ()
+      Feam_core.Phases.target_phase ~clock ?depot config target
+        (Site.base_env target) ~binary_path:staged ()
     end
     else
       match
@@ -369,9 +388,12 @@ let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
             (float_of_int (Feam_core.Bundle.total_bytes bundle) /. 1048576.0)
             (List.length bundle.Feam_core.Bundle.copies)
             (List.length bundle.Feam_core.Bundle.probes);
-        Feam_core.Phases.target_phase ~clock config target
+        Feam_core.Phases.target_phase ~clock ?depot config target
           (Site.base_env target) ~bundle ()
   in
+  Option.iter
+    (fun (dir, store) -> Feam_depot.Store.save_dir store dir)
+    depot_store;
   let result =
     match result with
     | Error _ -> result
@@ -400,12 +422,12 @@ let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
   (result, clock)
 
 let cmd_predict debug trace trace_out journal scenario_name from_site to_site
-    binary basic_only json lint symbols =
+    binary basic_only json lint symbols depot_dir =
   setup_logs debug;
   setup_obs ~journal trace trace_out;
   let result, clock =
-    run_predict_pipeline ~symbols scenario_name from_site to_site binary
-      basic_only lint
+    run_predict_pipeline ~symbols ?depot_dir scenario_name from_site to_site
+      binary basic_only lint
   in
   (match result with
   | Ok report ->
@@ -627,11 +649,46 @@ let parse_journal file =
   | Ok journal -> journal
   | Error e -> failwith (Printf.sprintf "%s: %s" file e)
 
+(* Re-plan a depot transfer purely from a journal's recorded wants and
+   check it reproduces the recorded plan byte-for-byte. *)
+let replay_plan json journal =
+  match Feam_core.Replay.plan_of_journal journal with
+  | Error e ->
+    Fmt.epr "replay failed: %s@." e;
+    exit 1
+  | Ok outcome ->
+    let open Feam_core.Replay in
+    if json then
+      print_endline
+        (Json.render
+           (Json.Obj
+              [
+                ("matches", Json.Bool outcome.plan_matches);
+                ( "has_recorded_plan",
+                  Json.Bool (outcome.plan_recorded <> None) );
+                ("plan", Feam_depot.Planner.to_json outcome.plan);
+              ]))
+    else print_string outcome.plan_rendered;
+    (match outcome.plan_recorded with
+    | None ->
+      Fmt.epr "replay: the journal records no plan text to compare against@."
+    | Some _ when outcome.plan_matches ->
+      Fmt.epr "replay: plan matches the journal's recorded text byte-for-byte@."
+    | Some recorded ->
+      Fmt.epr "replay: MISMATCH between the replayed and recorded plans@.";
+      Fmt.epr "--- recorded ---@.%s--- replayed ---@.%s" recorded
+        outcome.plan_rendered;
+      exit 1)
+
 (* Re-run the prediction purely from a journal's recorded evidence and
-   check it reproduces the recorded report byte-for-byte. *)
+   check it reproduces the recorded report byte-for-byte.  Transfer-plan
+   journals (from `feam depot plan --journal` or the evalharness) are
+   dispatched to the plan replayer instead. *)
 let cmd_replay debug json file =
   setup_logs debug;
   let journal = parse_journal file in
+  if Feam_core.Replay.has_plan journal then replay_plan json journal
+  else
   match Feam_core.Replay.of_journal journal with
   | Error e ->
     Fmt.epr "replay failed: %s@." e;
@@ -735,6 +792,134 @@ let cmd_inspect_bundle debug file =
          (List.map
             (fun p -> p.Feam_core.Bundle.probe_name)
             bundle.Feam_core.Bundle.probes))
+
+(* -- Content-addressed depot: `feam depot ...` -------------------------------- *)
+
+let read_text file =
+  if file = "-" then In_channel.input_all In_channel.stdin
+  else In_channel.with_open_text file In_channel.input_all
+
+let write_text file text =
+  match file with
+  | "-" -> print_string text
+  | f ->
+    Out_channel.with_open_text f (fun oc -> Out_channel.output_string oc text)
+
+let load_manifest file =
+  match Feam_core.Bundle_io.parse_manifest (read_text file) with
+  | Ok m -> m
+  | Error e -> failwith (Printf.sprintf "%s: %s" file e)
+
+(* Intern a self-contained bundle's payloads into the depot and write the
+   manifest that references them by content key. *)
+let cmd_depot_add debug depot_dir bundle_file out =
+  setup_logs debug;
+  let store = open_depot depot_dir in
+  match Feam_core.Bundle_io.parse (read_text bundle_file) with
+  | Error e ->
+    Fmt.epr "%s@." e;
+    exit 1
+  | Ok bundle ->
+    let before = Feam_depot.Store.object_count store in
+    let manifest = Feam_core.Bundle_manifest.of_bundle store bundle in
+    Feam_depot.Store.save_dir store depot_dir;
+    write_text out (Feam_core.Bundle_io.render_manifest manifest);
+    let added = Feam_depot.Store.object_count store - before in
+    if out <> "-" then
+      Fmt.pr
+        "manifest written to %s (%d objects referenced, %d new; store now %d \
+         objects, %.1f MB)@."
+        out
+        (List.length (Feam_core.Bundle_manifest.keys manifest))
+        added
+        (Feam_depot.Store.object_count store)
+        (float_of_int (Feam_depot.Store.total_bytes store) /. 1048576.0)
+
+let cmd_depot_ls debug depot_dir json =
+  setup_logs debug;
+  let store = open_depot depot_dir in
+  if json then print_endline (Json.render (Feam_depot.Store.to_json store))
+  else print_string (Feam_depot.Store.listing store)
+
+(* Mark-and-sweep: keep objects reachable from the --keep manifests (and
+   their recorded dependency keys), sweep the rest. *)
+let cmd_depot_gc debug depot_dir keep json =
+  setup_logs debug;
+  let store = open_depot depot_dir in
+  let roots =
+    List.concat_map (fun f -> Feam_core.Bundle_manifest.keys (load_manifest f)) keep
+  in
+  let report = Feam_depot.Store.gc ~roots store in
+  Feam_depot.Store.save_dir store depot_dir;
+  let swept = report.Feam_depot.Store.swept in
+  if json then
+    print_endline
+      (Json.render
+         (Json.Obj
+            [
+              ( "swept",
+                Json.List
+                  (List.map
+                     (fun k -> Json.Str (Feam_depot.Chash.to_hex k))
+                     swept) );
+              ("kept", Json.Int report.Feam_depot.Store.kept);
+              ("swept_bytes", Json.Int report.Feam_depot.Store.swept_bytes);
+            ]))
+  else
+    Fmt.pr "gc: swept %d objects (%.1f MB), kept %d@." (List.length swept)
+      (float_of_int report.Feam_depot.Store.swept_bytes /. 1048576.0)
+      report.Feam_depot.Store.kept
+
+(* Transfer plan for a manifest against a target site: everything the
+   manifest wants minus what --have says the site already possesses. *)
+let cmd_depot_plan debug journal depot_dir site manifest_file have json =
+  setup_logs debug;
+  setup_obs ~journal None None;
+  let store = open_depot depot_dir in
+  let manifest = load_manifest manifest_file in
+  let missing =
+    List.filter
+      (fun k -> not (Feam_depot.Store.mem store k))
+      (Feam_core.Bundle_manifest.keys manifest)
+  in
+  if missing <> [] then begin
+    Fmt.epr "manifest references %d objects not in the depot (first: %s)@."
+      (List.length missing)
+      (Feam_depot.Chash.to_hex (List.hd missing));
+    exit 1
+  end;
+  let have_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun h -> Hashtbl.replace have_tbl (String.lowercase_ascii h) ())
+    have;
+  let wants = Feam_core.Bundle_manifest.wants manifest in
+  let plan =
+    Feam_depot.Planner.compute ~site
+      ~possessed:(fun k -> Hashtbl.mem have_tbl (Feam_depot.Chash.to_hex k))
+      wants
+  in
+  Feam_depot.Planner.journal ~wants plan;
+  if json then print_endline (Json.render (Feam_depot.Planner.to_json plan))
+  else print_string (Feam_depot.Planner.render plan);
+  Feam_obs.flush ()
+
+(* Resolve a manifest back to the self-contained legacy bundle format. *)
+let cmd_depot_export debug depot_dir manifest_file out =
+  setup_logs debug;
+  let store = open_depot depot_dir in
+  let manifest = load_manifest manifest_file in
+  match Feam_core.Bundle_manifest.to_bundle store manifest with
+  | Error e ->
+    Fmt.epr "export failed: %s@." e;
+    exit 1
+  | Ok bundle ->
+    write_text out (Feam_core.Bundle_io.render bundle);
+    if out <> "-" then
+      Fmt.pr "bundle written to %s (%d copies, %d probes, %.1f MB of libraries)@."
+        out
+        (List.length bundle.Feam_core.Bundle.copies)
+        (List.length bundle.Feam_core.Bundle.probes)
+        (float_of_int (Feam_core.Bundle.library_bytes bundle) /. 1048576.0)
 
 let cmd_advise debug scenario_name from_site to_site =
   setup_logs debug;
@@ -877,6 +1062,16 @@ let predict_symbols_arg =
               bundle and attach their findings to the report.  Implied by \
               --lint, which runs the whole rule set.")
 
+let predict_depot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "depot" ] ~docv:"DIR"
+        ~doc:"Stage library copies through a persistent content-addressed \
+              depot at $(docv) (created if needed).  Objects already \
+              interned are recognized across runs and surface in the \
+              depot.hit metric; the store is saved back after the run.")
+
 let predict_cmd =
   Cmd.v
     (Cmd.info "predict"
@@ -884,7 +1079,7 @@ let predict_cmd =
     Term.(
       const cmd_predict $ debug_arg $ trace_arg $ trace_out_arg $ journal_arg
       $ scenario_arg $ from_arg $ to_arg $ binary_arg $ basic_arg $ json_arg
-      $ predict_lint_arg $ predict_symbols_arg)
+      $ predict_lint_arg $ predict_symbols_arg $ predict_depot_arg)
 
 let metrics_cmd =
   Cmd.v
@@ -1052,13 +1247,106 @@ let advise_cmd =
        ~doc:"Recommend binary migration vs recompilation for a target")
     Term.(const cmd_advise $ debug_arg $ scenario_arg $ from_arg $ to_arg)
 
+let depot_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "depot" ] ~docv:"DIR"
+        ~doc:"Depot directory (created if needed).")
+
+let depot_bundle_file_arg =
+  Arg.(
+    value & pos 0 string "-"
+    & info [] ~docv:"BUNDLE" ~doc:"Bundle artifact ('-' for stdin).")
+
+let depot_manifest_file_arg =
+  Arg.(
+    value & pos 0 string "-"
+    & info [] ~docv:"MANIFEST" ~doc:"Manifest artifact ('-' for stdin).")
+
+let depot_keep_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "keep" ] ~docv:"MANIFEST"
+        ~doc:"Manifest whose objects (and their recorded dependencies) are \
+              GC roots.  Repeatable.  With no roots and no pins, gc sweeps \
+              everything.")
+
+let depot_site_arg =
+  Arg.(
+    value & opt string "target"
+    & info [ "site" ] ~docv:"NAME" ~doc:"Target site name the plan ships to.")
+
+let depot_have_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "have" ] ~docv:"KEY"
+        ~doc:"Content key (hex) the target site already possesses; the plan \
+              skips it.  Repeatable.")
+
+let depot_add_cmd =
+  Cmd.v
+    (Cmd.info "add"
+       ~doc:"Intern a self-contained bundle's payloads into the depot and \
+             write the content-addressed manifest that references them.")
+    Term.(
+      const cmd_depot_add $ debug_arg $ depot_dir_arg $ depot_bundle_file_arg
+      $ out_arg)
+
+let depot_ls_cmd =
+  Cmd.v
+    (Cmd.info "ls"
+       ~doc:"List the depot's objects: key, size, soname, provider.  \
+             Key-ordered, so equal stores render byte-identically.")
+    Term.(const cmd_depot_ls $ debug_arg $ depot_dir_arg $ json_arg)
+
+let depot_gc_cmd =
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Mark-and-sweep the depot: keep pinned objects and everything \
+             reachable from --keep manifests, sweep the rest.")
+    Term.(
+      const cmd_depot_gc $ debug_arg $ depot_dir_arg $ depot_keep_arg
+      $ json_arg)
+
+let depot_plan_cmd =
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Compute the transfer plan for a manifest against a target \
+             site: the deduplicated objects to ship, minus what the site \
+             already possesses (--have).  With --journal the plan is \
+             recorded for byte-for-byte verification by 'feam replay'.")
+    Term.(
+      const cmd_depot_plan $ debug_arg $ journal_arg $ depot_dir_arg
+      $ depot_site_arg $ depot_manifest_file_arg $ depot_have_arg $ json_arg)
+
+let depot_export_cmd =
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Resolve a manifest against the depot back into the legacy \
+             self-contained bundle format.")
+    Term.(
+      const cmd_depot_export $ debug_arg $ depot_dir_arg
+      $ depot_manifest_file_arg $ out_arg)
+
+let depot_cmd =
+  Cmd.group
+    (Cmd.info "depot"
+       ~doc:"Content-addressed library store: intern bundles, list and \
+             garbage-collect objects, plan deduplicated transfers, export \
+             legacy bundles.")
+    [ depot_add_cmd; depot_ls_cmd; depot_gc_cmd; depot_plan_cmd;
+      depot_export_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "feam" ~version:"1.0.0"
        ~doc:"Framework for Efficient Application Migration (simulated sites)")
     [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; metrics_cmd;
       lint_cmd; symcheck_cmd; replay_cmd; diff_cmd; config_check_cmd;
-      bundle_cmd; inspect_bundle_cmd; advise_cmd; rank_cmd;
+      bundle_cmd; inspect_bundle_cmd; depot_cmd; advise_cmd; rank_cmd;
       scenario_template_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -32,4 +32,5 @@ let () =
       Rule_symbol_unresolved.rule;
       Rule_symbol_interposed.rule;
       Rule_soname_unsound.rule;
+      Rule_bundle_entry.rule;
     ]

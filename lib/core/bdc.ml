@@ -104,6 +104,32 @@ let describe_via_file_and_ldd ?clock site env path =
           }
     end
 
+(* -- describe memo (evalharness opt-in) --------------------------------- *)
+
+(* Within an evaluation run the same library image is described at many
+   sites.  A description is a function of the image bytes and the site's
+   tooling alone (every fault draw is keyed and seeded), so identical
+   bytes at the same site always describe identically up to the path
+   field.  The cache is opt-in — evalharness enables it for a run — and
+   keyed by (site name, content hash); only objdump-path successes are
+   cached, so tool-fallback behaviour is untouched. *)
+let describe_memo : (string * string, Description.t) Hashtbl.t option ref =
+  ref None
+
+let set_describe_memo () = describe_memo := Some (Hashtbl.create 256)
+let clear_describe_memo () = describe_memo := None
+
+let memo_key_of site path =
+  match !describe_memo with
+  | None -> None
+  | Some _ -> (
+    match Vfs.find (Site.vfs site) path with
+    | Some { Vfs.kind = Vfs.Elf bytes; _ } ->
+      Some
+        ( Site.name site,
+          Feam_depot.Chash.to_hex (Feam_depot.Chash.of_bytes bytes) )
+    | _ -> None)
+
 (* [describe ?clock site env ~path] — full description with fallbacks. *)
 let describe ?clock site env ~path =
   Feam_obs.Trace.with_span "bdc.describe"
@@ -123,17 +149,34 @@ let describe ?clock site env ~path =
           | None -> Json.Null );
       ]
   in
-  match describe_via_objdump ?clock site path with
-  | Ok d ->
-    Feam_obs.Metrics.incr "bdc.describe" ~labels:[ ("method", "objdump") ];
-    journal_describe "objdump" d;
+  let memo_key = memo_key_of site path in
+  let cached =
+    match (memo_key, !describe_memo) with
+    | Some key, Some tbl -> Hashtbl.find_opt tbl key
+    | _ -> None
+  in
+  match cached with
+  | Some d ->
+    Feam_obs.Metrics.incr "bdc.describe_cache.hit";
+    let d = { d with Description.path } in
+    journal_describe "cache" d;
     Ok d
-  | Error _ ->
-    Feam_obs.Metrics.incr "bdc.describe" ~labels:[ ("method", "file_ldd") ];
-    Feam_obs.Trace.with_span "bdc.file_ldd_describe" @@ fun () ->
-    let r = describe_via_file_and_ldd ?clock site env path in
-    Result.iter (journal_describe "file_ldd") r;
-    r
+  | None -> (
+    if memo_key <> None then Feam_obs.Metrics.incr "bdc.describe_cache.miss";
+    match describe_via_objdump ?clock site path with
+    | Ok d ->
+      Feam_obs.Metrics.incr "bdc.describe" ~labels:[ ("method", "objdump") ];
+      journal_describe "objdump" d;
+      (match (memo_key, !describe_memo) with
+      | Some key, Some tbl -> Hashtbl.replace tbl key d
+      | _ -> ());
+      Ok d
+    | Error _ ->
+      Feam_obs.Metrics.incr "bdc.describe" ~labels:[ ("method", "file_ldd") ];
+      Feam_obs.Trace.with_span "bdc.file_ldd_describe" @@ fun () ->
+      let r = describe_via_file_and_ldd ?clock site env path in
+      Result.iter (journal_describe "file_ldd") r;
+      r)
 
 (* -- Library location (paper §V.A, three search methods) --------------- *)
 

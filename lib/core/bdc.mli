@@ -36,6 +36,17 @@ val locate_library :
   string ->
   string option
 
+(** Enable the describe memo: within a run, cache successful objdump
+    descriptions keyed by (site name, content hash of the image), so the
+    same library image described at the same site many times is parsed
+    once.  Hit/miss counts surface as [bdc.describe_cache.hit] /
+    [.miss].  Opt-in; fallback-path (file/ldd) results are never
+    cached. *)
+val set_describe_memo : unit -> unit
+
+(** Drop the memo and disable caching. *)
+val clear_describe_memo : unit -> unit
+
 (** Describe a binary, with fallbacks for missing tools. *)
 val describe :
   ?clock:Feam_util.Sim_clock.t ->

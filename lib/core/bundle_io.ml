@@ -11,6 +11,7 @@
 open Feam_util
 
 let magic = "FEAM-BUNDLE 1"
+let manifest_magic = "FEAM-MANIFEST 1"
 
 (* -- rendering ------------------------------------------------------------ *)
 
@@ -89,6 +90,45 @@ let render (b : Bundle.t) : string =
   render_discovery buf b.Bundle.source_discovery;
   Buffer.contents buf
 
+(* [render_manifest m] serializes a depot-backed manifest: the same
+   container as a bundle, but every payload is an `object:` content key
+   resolved against a depot instead of embedded `data:`. *)
+let render_manifest (m : Bundle_manifest.t) : string =
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let hex = Feam_depot.Chash.to_hex in
+  addf "%s\n" manifest_magic;
+  addf "created-at: %s\n" m.Bundle_manifest.man_created_at;
+  addf "unlocatable: %s\n" (String.concat "," m.Bundle_manifest.man_unlocatable);
+  addf "\n[description]\n";
+  render_description buf "" m.Bundle_manifest.man_description;
+  (match m.Bundle_manifest.man_binary with
+  | Some (key, size) ->
+    addf "\n[binary]\n";
+    addf "declared-size: %d\n" size;
+    addf "object: %s\n" (hex key)
+  | None -> ());
+  List.iter
+    (fun (e : Bundle_manifest.entry) ->
+      addf "\n[copy]\n";
+      addf "request: %s\n" e.Bundle_manifest.me_request;
+      addf "origin: %s\n" e.Bundle_manifest.me_origin;
+      addf "declared-size: %d\n" e.Bundle_manifest.me_size;
+      render_description buf "desc-" e.Bundle_manifest.me_description;
+      addf "object: %s\n" (hex e.Bundle_manifest.me_key))
+    m.Bundle_manifest.man_entries;
+  List.iter
+    (fun (p : Bundle_manifest.probe_ref) ->
+      addf "\n[probe]\n";
+      addf "name: %s\n" p.Bundle_manifest.mp_name;
+      addf "stack: %s\n" p.Bundle_manifest.mp_stack;
+      addf "declared-size: %d\n" p.Bundle_manifest.mp_size;
+      addf "object: %s\n" (hex p.Bundle_manifest.mp_key))
+    m.Bundle_manifest.man_probes;
+  addf "\n";
+  render_discovery buf m.Bundle_manifest.man_discovery;
+  Buffer.contents buf
+
 (* -- parsing ---------------------------------------------------------------- *)
 
 type parse_error = { line : int; message : string }
@@ -96,9 +136,35 @@ type parse_error = { line : int; message : string }
 let parse_error_to_string e =
   Printf.sprintf "bundle parse error at line %d: %s" e.line e.message
 
+(* What makes an entry name unsafe to load (DESIGN §9): [Duplicate]
+   names collide in the staging directory, [Traversal] names escape it
+   (the target phase stages entries at [staging ^ "/" ^ name]). *)
+type entry_issue = Duplicate | Traversal
+
+let entry_issue_to_string = function
+  | Duplicate -> "duplicate entry name"
+  | Traversal -> "path traversal in entry name"
+
+type load_error =
+  | Syntax of parse_error
+  | Malformed of string
+  | Unsafe_entry of { section : string; name : string; issue : entry_issue }
+
+let load_error_to_string = function
+  | Syntax e -> parse_error_to_string e
+  | Malformed m -> m
+  | Unsafe_entry { section; name; issue } ->
+    Printf.sprintf "unsafe [%s] entry %S: %s" section name
+      (entry_issue_to_string issue)
+
+(* A name with a ".." path component escapes the staging directory when
+   the target phase concatenates it onto the staging root. *)
+let name_traverses name =
+  String.split_on_char '/' name |> List.exists (( = ) "..")
+
 (* Cut the text into sections: a header block plus "[name]" blocks of
    (key, value) pairs, preserving repeated keys in order. *)
-let sectionize text =
+let sectionize ~magic text =
   let lines = String.split_on_char '\n' text in
   let err line message = Error { line; message } in
   let rec go lineno current sections = function
@@ -135,6 +201,33 @@ let sectionize text =
 let field fields key = List.assoc_opt key fields
 let fields_all fields key =
   List.filter_map (fun (k, v) -> if k = key then Some v else None) fields
+
+(* Reject duplicate and traversing entry names across a parsed artifact's
+   [copy] and [probe] sections, before any payload is decoded. *)
+let check_entries sections =
+  let check section key seen fields =
+    match field fields key with
+    | None -> Ok seen
+    | Some name ->
+      if name_traverses name then
+        Error (Unsafe_entry { section; name; issue = Traversal })
+      else if List.mem name seen then
+        Error (Unsafe_entry { section; name; issue = Duplicate })
+      else Ok (name :: seen)
+  in
+  let rec go seen_copies seen_probes = function
+    | [] -> Ok ()
+    | ("copy", fields) :: rest -> (
+      match check "copy" "request" seen_copies fields with
+      | Error _ as e -> e
+      | Ok seen -> go seen seen_probes rest)
+    | ("probe", fields) :: rest -> (
+      match check "probe" "name" seen_probes fields with
+      | Error _ as e -> e
+      | Ok seen -> go seen_copies seen rest)
+    | _ :: rest -> go seen_copies seen_probes rest
+  in
+  go [] [] sections
 
 let opt_of = function "-" | "" -> None | s -> Some s
 
@@ -224,11 +317,8 @@ let parse_discovery fields : Discovery.t =
     current_stack = Option.bind (get "current-stack") stack_of_slug;
   }
 
-(* [parse text] reads a bundle artifact back. *)
-let parse (text : string) : (Bundle.t, string) result =
-  match sectionize text with
-  | Error e -> Error (parse_error_to_string e)
-  | Ok sections ->
+(* Assemble a bundle from checked sections. *)
+let assemble_bundle sections : (Bundle.t, string) result =
     let header =
       match List.assoc_opt "" sections with Some f -> f | None -> []
     in
@@ -318,3 +408,140 @@ let parse (text : string) : (Bundle.t, string) result =
             probes;
             source_discovery;
           }))
+
+(* [parse_checked text] reads a bundle artifact back, rejecting unsafe
+   entry names (duplicates, path traversal) with a typed error. *)
+let parse_checked (text : string) : (Bundle.t, load_error) result =
+  match sectionize ~magic text with
+  | Error e -> Error (Syntax e)
+  | Ok sections -> (
+    match check_entries sections with
+    | Error _ as e -> e
+    | Ok () -> (
+      match assemble_bundle sections with
+      | Ok b -> Ok b
+      | Error m -> Error (Malformed m)))
+
+(* [parse text] is {!parse_checked} with errors rendered to strings. *)
+let parse (text : string) : (Bundle.t, string) result =
+  Result.map_error load_error_to_string (parse_checked text)
+
+(* -- manifest parsing ----------------------------------------------------- *)
+
+let parse_key fields =
+  match field fields "object" with
+  | None -> Error "missing object field"
+  | Some hex -> (
+    match Feam_depot.Chash.of_hex hex with
+    | Some key -> Ok key
+    | None -> Error ("malformed content key: " ^ hex))
+
+(* [parse_manifest_checked text] reads a depot-backed manifest artifact,
+   applying the same entry-name safety checks as bundles. *)
+let parse_manifest_checked (text : string) :
+    (Bundle_manifest.t, load_error) result =
+  match sectionize ~magic:manifest_magic text with
+  | Error e -> Error (Syntax e)
+  | Ok sections -> (
+    match check_entries sections with
+    | Error _ as e -> e
+    | Ok () ->
+      let header =
+        match List.assoc_opt "" sections with Some f -> f | None -> []
+      in
+      let find_section name =
+        List.filter_map
+          (fun (n, fields) -> if n = name then Some fields else None)
+          sections
+      in
+      let ( let* ) = Result.bind in
+      let result =
+        let* desc_fields =
+          match find_section "description" with
+          | [] -> Error "missing [description] section"
+          | fields :: _ -> Ok fields
+        in
+        let* man_description = parse_description ~prefix:"" desc_fields in
+        let* man_binary =
+          match find_section "binary" with
+          | [] -> Ok None
+          | fields :: _ ->
+            let* key = parse_key fields in
+            Ok (Some (key, parse_int_field fields "declared-size" ~default:0))
+        in
+        let* man_entries =
+          List.fold_left
+            (fun acc fields ->
+              let* acc = acc in
+              let* request =
+                match field fields "request" with
+                | Some r -> Ok r
+                | None -> Error "copy section missing request field"
+              in
+              let* description = parse_description ~prefix:"desc-" fields in
+              let* key = parse_key fields in
+              Ok
+                ({
+                   Bundle_manifest.me_request = request;
+                   me_key = key;
+                   me_size = parse_int_field fields "declared-size" ~default:0;
+                   me_origin = Option.value (field fields "origin") ~default:"";
+                   me_description = description;
+                 }
+                 :: acc))
+            (Ok [])
+            (find_section "copy")
+        in
+        let* man_probes =
+          List.fold_left
+            (fun acc fields ->
+              let* acc = acc in
+              let* name =
+                match field fields "name" with
+                | Some n -> Ok n
+                | None -> Error "probe section missing name field"
+              in
+              let* key = parse_key fields in
+              Ok
+                ({
+                   Bundle_manifest.mp_name = name;
+                   mp_key = key;
+                   mp_size = parse_int_field fields "declared-size" ~default:0;
+                   mp_stack = Option.value (field fields "stack") ~default:"";
+                 }
+                 :: acc))
+            (Ok [])
+            (find_section "probe")
+        in
+        let man_discovery =
+          match find_section "discovery" with
+          | fields :: _ -> parse_discovery fields
+          | [] ->
+            {
+              Discovery.env_type = `Guaranteed;
+              machine = None;
+              elf_class = None;
+              os = None;
+              kernel = None;
+              glibc = None;
+              stacks = [];
+              current_stack = None;
+            }
+        in
+        Ok
+          {
+            Bundle_manifest.man_created_at =
+              Option.value (field header "created-at") ~default:"unknown";
+            man_description;
+            man_binary;
+            man_entries = List.rev man_entries;
+            man_unlocatable =
+              split_list (Option.value (field header "unlocatable") ~default:"");
+            man_probes = List.rev man_probes;
+            man_discovery;
+          }
+      in
+      Result.map_error (fun m -> Malformed m) result)
+
+let parse_manifest (text : string) : (Bundle_manifest.t, string) result =
+  Result.map_error load_error_to_string (parse_manifest_checked text)

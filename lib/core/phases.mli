@@ -25,6 +25,7 @@ val source_phase :
     (basic mode). *)
 val target_phase :
   ?clock:Feam_util.Sim_clock.t ->
+  ?depot:Resolve_model.depot ->
   Config.t ->
   Feam_sysmodel.Site.t ->
   Feam_sysmodel.Env.t ->

@@ -146,3 +146,69 @@ let of_journal journal =
       Option.bind report_record (Journal.str_field "text")
     in
     Ok { report; rendered; recorded; matches = recorded = Some rendered }
+
+(* -- transfer-plan replay -------------------------------------------------- *)
+
+(* Plans replay the same way predictions do: the journal records every
+   deduplicated want (with its possession verdict at planning time) plus
+   the rendered plan; replay re-runs the pure [Planner.compute] over the
+   recorded wants and compares renderings byte-for-byte. *)
+
+module Planner = Feam_depot.Planner
+
+type plan_outcome = {
+  plan : Planner.t; (* rebuilt from recorded wants *)
+  plan_rendered : string;
+  plan_recorded : string option; (* the text the journal recorded *)
+  plan_matches : bool;
+}
+
+let has_plan journal = Journal.payload ~kind:"transfer_plan" journal <> None
+
+let want_records journal =
+  Journal.find_all ~kind:"evidence" journal
+  |> List.filter (fun r ->
+         Journal.str_field "stage" r = Some "depot"
+         && Journal.str_field "kind" r = Some "want")
+
+(* [plan_of_journal journal] — rebuild the journaled transfer plan. *)
+let plan_of_journal journal =
+  let* data = payload_exn ~kind:"transfer_plan" journal in
+  let* site =
+    match str_member "site" data with
+    | Some s -> Ok s
+    | None -> Error "transfer_plan payload carries no site"
+  in
+  let recorded =
+    List.map
+      (fun r -> Planner.want_of_fields r.Journal.fields)
+      (want_records journal)
+  in
+  if List.mem None recorded then
+    Error "journal carries a malformed depot want record"
+  else
+    let recorded = List.filter_map Fun.id recorded in
+    let possessed_keys : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (w, possessed) ->
+        if possessed then
+          Hashtbl.replace possessed_keys
+            (Feam_depot.Chash.to_hex w.Planner.w_key)
+            ())
+      recorded;
+    let wants = List.map fst recorded in
+    let plan =
+      Planner.compute ~site
+        ~possessed:(fun key ->
+          Hashtbl.mem possessed_keys (Feam_depot.Chash.to_hex key))
+        wants
+    in
+    let plan_rendered = Planner.render plan in
+    let plan_recorded = str_member "text" data in
+    Ok
+      {
+        plan;
+        plan_rendered;
+        plan_recorded;
+        plan_matches = plan_recorded = Some plan_rendered;
+      }

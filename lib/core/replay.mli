@@ -14,3 +14,18 @@ type outcome = {
     the journal's own recorded report text.  Errors when the journal
     lacks the config/description/discovery payloads replay needs. *)
 val of_journal : Feam_flightrec.Journal.t -> (outcome, string) result
+
+type plan_outcome = {
+  plan : Feam_depot.Planner.t;  (** rebuilt from recorded wants *)
+  plan_rendered : string;
+  plan_recorded : string option;  (** the text the journal recorded *)
+  plan_matches : bool;  (** byte-for-byte equality *)
+}
+
+(** Does this journal carry a transfer plan (making it plan-replayable)? *)
+val has_plan : Feam_flightrec.Journal.t -> bool
+
+(** Rebuild a journaled transfer plan by re-running the pure
+    {!Feam_depot.Planner.compute} over the recorded wants, and compare
+    the rendering with the recorded text. *)
+val plan_of_journal : Feam_flightrec.Journal.t -> (plan_outcome, string) result

@@ -34,9 +34,21 @@ let rejection_to_string = function
 
 type outcome = {
   staged : (string * string) list;         (* needed name -> staged path *)
+  staged_keys : (string * string) list;    (* needed name -> depot key hex *)
   failed : (string * rejection) list;
   env : Env.t;                              (* with staging dir exposed *)
 }
+
+(* A depot handle: staged copies are interned into the shared store, and
+   transfer cost is charged only for objects the target site does not
+   already hold (the per-site possession index). *)
+type depot = {
+  depot_store : Feam_depot.Store.t;
+  depot_possession : Feam_depot.Planner.Possession.index;
+}
+
+let depot ~store ~possession =
+  { depot_store = store; depot_possession = possession }
 
 (* The loader's view of the site: LD_LIBRARY_PATH, then the cache
    directories as `ldconfig -p` reports them (reading the cache, not
@@ -52,7 +64,7 @@ let present_at_target site env name =
 (* [resolve ?clock config site env ~bundle ~target_glibc ~binary_machine
    ~missing] — attempt to resolve every name in [missing] from the
    bundle's copies. *)
-let resolve ?clock config site env ~(bundle : Bundle.t) ~target_glibc
+let resolve ?clock ?depot config site env ~(bundle : Bundle.t) ~target_glibc
     ~binary_machine ~binary_class ~missing =
   Feam_obs.Trace.with_span "resolve.resolve"
     ~attrs:[ ("missing", Feam_obs.Span.Int (List.length missing)) ]
@@ -124,13 +136,43 @@ let resolve ?clock config site env ~(bundle : Bundle.t) ~target_glibc
       end
   in
   let staged = ref [] in
+  let staged_keys = ref [] in
   let failed = ref [] in
   let stage_copy name (copy : Bdc.library_copy) =
     let path = staging ^ "/" ^ name in
     Vfs.add ~declared_size:copy.Bdc.copy_declared_size vfs path
       (Vfs.Elf copy.Bdc.copy_bytes);
-    Cost.charge clock
-      (Cost.copy_per_mb *. (float_of_int copy.Bdc.copy_declared_size /. 1048576.0));
+    let charge () =
+      Cost.charge clock
+        (Cost.copy_per_mb
+        *. (float_of_int copy.Bdc.copy_declared_size /. 1048576.0))
+    in
+    (match depot with
+    | None -> charge ()
+    | Some d ->
+      (* Stage via the depot: intern the image, then ship it only if the
+         target site does not already hold the object. *)
+      let cd = copy.Bdc.copy_description in
+      let _, key =
+        Feam_depot.Store.intern d.depot_store
+          ~meta:
+            (Feam_depot.Store.meta
+               ?soname:(Option.map Soname.to_string cd.Description.soname)
+               ~origin:copy.Bdc.copy_origin_path
+               ~size:copy.Bdc.copy_declared_size ())
+          copy.Bdc.copy_bytes
+      in
+      let site_name = Site.name site in
+      if
+        Feam_depot.Planner.Possession.mem d.depot_possession ~site:site_name
+          key
+      then Feam_obs.Metrics.incr "resolve.depot_reused"
+      else begin
+        charge ();
+        Feam_depot.Planner.Possession.add d.depot_possession ~site:site_name
+          key
+      end;
+      staged_keys := (name, Feam_depot.Chash.to_hex key) :: !staged_keys);
     Feam_obs.Metrics.incr "resolve.libraries_copied";
     Feam_obs.Trace.event "staged"
       ~attrs:[ ("library", Feam_obs.Span.Str name) ];
@@ -168,7 +210,14 @@ let resolve ?clock config site env ~(bundle : Bundle.t) ~target_glibc
   in
   Feam_obs.Trace.set_attr "staged" (Feam_obs.Span.Int (List.length !staged));
   Feam_obs.Trace.set_attr "failed" (Feam_obs.Span.Int (List.length !failed));
-  let outcome = { staged = List.rev !staged; failed = List.rev !failed; env } in
+  let outcome =
+    {
+      staged = List.rev !staged;
+      staged_keys = List.rev !staged_keys;
+      failed = List.rev !failed;
+      env;
+    }
+  in
   Feam_flightrec.Recorder.decision ~determinant:"resolve"
     ~verdict:(if outcome.failed = [] then "pass" else "fail")
     [

@@ -18,9 +18,21 @@ val rejection_to_string : rejection -> string
 
 type outcome = {
   staged : (string * string) list;  (** needed name -> staged path *)
+  staged_keys : (string * string) list;
+      (** needed name -> depot content key (hex); empty without a depot *)
   failed : (string * rejection) list;
   env : Feam_sysmodel.Env.t;  (** with the staging directory exposed *)
 }
+
+(** A depot handle for staging: copies are interned into the shared
+    store, and transfer cost is charged only for objects the target site
+    does not already hold in the possession index. *)
+type depot
+
+val depot :
+  store:Feam_depot.Store.t ->
+  possession:Feam_depot.Planner.Possession.index ->
+  depot
 
 (** Directories searched when checking whether a name is already present
     at the target. *)
@@ -35,6 +47,7 @@ val present_at_target :
     configuration's staging directory. *)
 val resolve :
   ?clock:Feam_util.Sim_clock.t ->
+  ?depot:depot ->
   Config.t ->
   Feam_sysmodel.Site.t ->
   Feam_sysmodel.Env.t ->

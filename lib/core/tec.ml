@@ -353,7 +353,7 @@ let journal_libs le ~compatible =
 
 (* -- live evaluation ------------------------------------------------------- *)
 
-let evaluate_inner ?clock site env (input : input) : Predict.t =
+let evaluate_inner ?clock ?depot site env (input : input) : Predict.t =
   let d = input.description in
   let disc = input.discovery in
   let decide_now ?stack ?libs () =
@@ -426,7 +426,8 @@ let evaluate_inner ?clock site env (input : input) : Predict.t =
           | [], _ -> None
           | _ :: _, Some bundle ->
             Some
-              (Resolve_model.resolve ?clock input.config site session_env ~bundle
+              (Resolve_model.resolve ?clock ?depot input.config site session_env
+                 ~bundle
                  ~target_glibc:disc.Discovery.glibc
                  ~binary_machine:d.Description.machine
                  ~binary_class:d.Description.elf_class ~missing)
@@ -456,7 +457,7 @@ let evaluate_inner ?clock site env (input : input) : Predict.t =
       in
       decide_now ~stack:stack_ev ~libs:libs_ev ()
 
-let evaluate ?clock site env (input : input) : Predict.t =
+let evaluate ?clock ?depot site env (input : input) : Predict.t =
   Feam_obs.Trace.with_span "tec.evaluate"
     ~attrs:
       [ ("binary", Feam_obs.Span.Str input.description.Description.path) ]
@@ -465,7 +466,7 @@ let evaluate ?clock site env (input : input) : Predict.t =
     (Json.Str (Config.to_file_body input.config));
   Recorder.payload ~kind:"description" (Description.to_json input.description);
   Recorder.payload ~kind:"discovery" (Discovery.to_json input.discovery);
-  let t = evaluate_inner ?clock site env input in
+  let t = evaluate_inner ?clock ?depot site env input in
   let outcome = if Predict.is_ready t then "ready" else "not_ready" in
   Recorder.decision ~determinant:"predict"
     ~verdict:(if Predict.is_ready t then "ready" else "not ready")

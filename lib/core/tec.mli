@@ -57,6 +57,7 @@ val decide :
 (** Run the full evaluation. *)
 val evaluate :
   ?clock:Feam_util.Sim_clock.t ->
+  ?depot:Resolve_model.depot ->
   Feam_sysmodel.Site.t ->
   Feam_sysmodel.Env.t ->
   input ->

@@ -2,6 +2,9 @@
     self-contained journal per (binary, target site) cell, written
     through an injected writer. *)
 
+(** Make a name safe for use as a journal file name. *)
+val sanitize : string -> string
+
 (** The journal file name for one matrix cell. *)
 val cell_name : Testset.binary -> Feam_sysmodel.Site.t -> string
 

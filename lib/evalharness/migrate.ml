@@ -199,8 +199,12 @@ let migrate ?clock ?(bundle_filter = fun b -> b) (params : Params.t) binary
   }
 
 (* All migrations of the corpus: each binary to every *other* site with a
-   matching MPI implementation. *)
+   matching MPI implementation.  The describe memo is enabled for the
+   run: the same library image re-described at the same site across
+   cells parses once (hit rate surfaces in bdc.describe_cache metrics). *)
 let run_all ?clock ?bundle_filter params sites binaries =
+  Feam_core.Bdc.set_describe_memo ();
+  Fun.protect ~finally:Feam_core.Bdc.clear_describe_memo @@ fun () ->
   List.concat_map
     (fun binary ->
       sites

@@ -118,6 +118,57 @@ let test_parse_bad_line () =
       (Str_split.contains ~sub:"line 3" e)
   | Ok _ -> Alcotest.fail "expected parse error"
 
+(* -- Loader hardening: entry names that collide or escape ---------------------- *)
+
+let test_parse_checked_accepts_clean () =
+  let bundle = make_bundle () in
+  match Bundle_io.parse_checked (Bundle_io.render bundle) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Bundle_io.load_error_to_string e)
+
+let test_parse_checked_rejects_duplicate_copy () =
+  let bundle = make_bundle () in
+  let dup =
+    match bundle.Bundle.copies with
+    | c :: _ as copies -> { bundle with Bundle.copies = c :: copies }
+    | [] -> Alcotest.fail "fixture bundle has no copies"
+  in
+  match Bundle_io.parse_checked (Bundle_io.render dup) with
+  | Error (Bundle_io.Unsafe_entry { issue = Bundle_io.Duplicate; name; _ }) ->
+    Alcotest.(check string) "names the colliding entry"
+      (List.hd bundle.Bundle.copies).Bdc.copy_request name
+  | Error e -> Alcotest.failf "wrong error: %s" (Bundle_io.load_error_to_string e)
+  | Ok _ -> Alcotest.fail "duplicate entry accepted"
+
+let test_parse_checked_rejects_traversal_probe () =
+  let bundle = make_bundle () in
+  let evil =
+    {
+      bundle with
+      Bundle.probes =
+        List.map
+          (fun p -> { p with Bundle.probe_name = "../" ^ p.Bundle.probe_name })
+          bundle.Bundle.probes;
+    }
+  in
+  if evil.Bundle.probes = [] then Alcotest.fail "fixture bundle has no probes";
+  match Bundle_io.parse_checked (Bundle_io.render evil) with
+  | Error (Bundle_io.Unsafe_entry { issue = Bundle_io.Traversal; name; _ }) ->
+    Alcotest.(check bool) "names the escaping entry" true
+      (Bundle_io.name_traverses name)
+  | Error e -> Alcotest.failf "wrong error: %s" (Bundle_io.load_error_to_string e)
+  | Ok _ -> Alcotest.fail "traversal entry accepted"
+
+let test_name_traverses () =
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check bool) name expected (Bundle_io.name_traverses name))
+    [
+      ("../etc/passwd", true); ("a/../b", true); ("a/b/..", true);
+      ("..", true); ("libc.so.6", false); ("lib..so", false);
+      ("a..b/c", false); ("", false);
+    ]
+
 let suite =
   ( "bundle-io",
     [
@@ -131,4 +182,11 @@ let suite =
         test_parsed_bundle_usable_for_target_phase;
       Alcotest.test_case "parse rejects garbage" `Quick test_parse_rejects_garbage;
       Alcotest.test_case "parse error line numbers" `Quick test_parse_bad_line;
+      Alcotest.test_case "parse_checked accepts clean artifact" `Quick
+        test_parse_checked_accepts_clean;
+      Alcotest.test_case "parse_checked rejects duplicate copy" `Quick
+        test_parse_checked_rejects_duplicate_copy;
+      Alcotest.test_case "parse_checked rejects traversal probe" `Quick
+        test_parse_checked_rejects_traversal_probe;
+      Alcotest.test_case "name_traverses" `Quick test_name_traverses;
     ] )

@@ -1,0 +1,294 @@
+(* Tests for the content-addressed depot: hash stability, store
+   intern/pin/GC invariants, on-disk round-trips, depot-backed manifests
+   (byte-identical export to the legacy bundle format), transfer-plan
+   dedup against the possession index, and byte-for-byte plan replay
+   from a flight-recorder journal. *)
+
+open Feam_core
+module Chash = Feam_depot.Chash
+module Store = Feam_depot.Store
+module Planner = Feam_depot.Planner
+
+let gen_bytes = QCheck.Gen.(map Bytes.to_string (bytes_size (int_range 0 512)))
+
+(* -- Content hash ------------------------------------------------------- *)
+
+let prop_chash_stable =
+  QCheck.Test.make ~name:"chash: deterministic, 32-hex" ~count:200
+    (QCheck.make ~print:String.escaped gen_bytes) (fun s ->
+      let k = Chash.of_bytes s in
+      Chash.equal k (Chash.of_bytes s)
+      && String.length (Chash.to_hex k) = 32
+      && Chash.of_hex (Chash.to_hex k) = Some k)
+
+let prop_chash_distinct =
+  QCheck.Test.make ~name:"chash: distinct bytes, distinct keys" ~count:200
+    QCheck.(pair (make ~print:String.escaped gen_bytes)
+              (make ~print:String.escaped gen_bytes))
+    (fun (a, b) ->
+      a = b || not (Chash.equal (Chash.of_bytes a) (Chash.of_bytes b)))
+
+(* -- Store: intern, pins, GC -------------------------------------------- *)
+
+let intern_str ?deps store s =
+  Store.intern store ~meta:(Store.meta ?deps ~size:(String.length s) ()) s
+
+let test_intern_hit_miss () =
+  let store = Store.create () in
+  let st1, k1 = intern_str store "alpha" in
+  let st2, k2 = intern_str store "alpha" in
+  let st3, k3 = intern_str store "beta" in
+  Alcotest.(check string) "first is a miss" "miss" (Store.status_to_string st1);
+  Alcotest.(check string) "second is a hit" "hit" (Store.status_to_string st2);
+  Alcotest.(check string) "other bytes miss" "miss" (Store.status_to_string st3);
+  Alcotest.(check bool) "same key" true (Chash.equal k1 k2);
+  Alcotest.(check bool) "distinct key" false (Chash.equal k1 k3);
+  Alcotest.(check int) "two objects" 2 (Store.object_count store);
+  Alcotest.(check int) "bytes counted once" 9 (Store.total_bytes store)
+
+let test_gc_keeps_pinned_and_roots () =
+  let store = Store.create () in
+  let _, ka = intern_str store "aaaa" in
+  let _, kb = intern_str store ~deps:[ Chash.to_hex ka ] "bbbb" in
+  let _, kc = intern_str store "cccc" in
+  let _, kd = intern_str store "dddd" in
+  Store.pin store kd;
+  (* roots: kb — marks kb and, through its recorded dep, ka. *)
+  let report = Store.gc ~roots:[ kb ] store in
+  Alcotest.(check bool) "root kept" true (Store.mem store kb);
+  Alcotest.(check bool) "dep of root kept" true (Store.mem store ka);
+  Alcotest.(check bool) "pinned kept" true (Store.mem store kd);
+  Alcotest.(check bool) "unreferenced swept" false (Store.mem store kc);
+  Alcotest.(check int) "one swept" 1 (List.length report.Store.swept);
+  Alcotest.(check int) "three kept" 3 report.Store.kept;
+  Alcotest.(check int) "swept bytes" 4 report.Store.swept_bytes
+
+(* Random stores with random dep edges, pins, and roots: GC must never
+   sweep a pinned object or anything reachable from pins + roots. *)
+let prop_gc_never_sweeps_reachable =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 12 in
+      let* pins = list_size (int_range 0 3) (int_range 0 (n - 1)) in
+      let* roots = list_size (int_range 0 3) (int_range 0 (n - 1)) in
+      let* deps = list_size (int_range 0 (2 * n)) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+      return (n, pins, roots, deps))
+  in
+  QCheck.Test.make ~name:"gc: pinned and reachable objects survive" ~count:100
+    (QCheck.make
+       ~print:(fun (n, pins, roots, deps) ->
+         Printf.sprintf "n=%d pins=%s roots=%s deps=%s" n
+           (String.concat "," (List.map string_of_int pins))
+           (String.concat "," (List.map string_of_int roots))
+           (String.concat ","
+              (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) deps)))
+       gen)
+    (fun (n, pins, roots, deps) ->
+      let store = Store.create () in
+      let payload i = Printf.sprintf "object-%d" i in
+      let keys =
+        Array.init n (fun i ->
+            let dep_hexes =
+              List.filter_map
+                (fun (a, b) ->
+                  if a = i && b < i then
+                    Some (Chash.to_hex (Chash.of_bytes (payload b)))
+                  else None)
+                deps
+            in
+            snd (intern_str store ~deps:dep_hexes (payload i)))
+      in
+      List.iter (fun i -> Store.pin store keys.(i)) pins;
+      (* expected survivors: closure over recorded deps from pins+roots *)
+      let marked = Hashtbl.create 16 in
+      let dep_edges i = List.filter_map (fun (a, b) -> if a = i && b < i then Some b else None) deps in
+      let rec mark i =
+        if not (Hashtbl.mem marked i) then begin
+          Hashtbl.replace marked i ();
+          List.iter mark (dep_edges i)
+        end
+      in
+      List.iter mark pins;
+      List.iter mark roots;
+      ignore (Store.gc ~roots:(List.map (fun i -> keys.(i)) roots) store);
+      List.for_all
+        (fun i -> Store.mem store keys.(i))
+        (List.of_seq (Hashtbl.to_seq_keys marked)))
+
+let test_save_load_roundtrip () =
+  let store = Store.create () in
+  let _, ka = intern_str store "payload one" in
+  let _, _ =
+    Store.intern store
+      ~meta:
+        (Store.meta ~soname:"libx.so.1" ~version:"1.2" ~provider:"test"
+           ~origin:"/lib/libx.so.1"
+           ~deps:[ Chash.to_hex ka ]
+           ~size:11 ())
+      "payload two"
+  in
+  let dir = Filename.temp_dir "feam_depot_test" "" in
+  Store.save_dir store dir;
+  let loaded =
+    match Store.load_dir dir with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "load_dir: %s" e
+  in
+  Alcotest.(check string) "listings identical" (Store.listing store)
+    (Store.listing loaded);
+  Alcotest.(check int) "bytes identical" (Store.total_bytes store)
+    (Store.total_bytes loaded)
+
+(* -- Depot-backed manifests --------------------------------------------- *)
+
+let make_bundle () =
+  let site, installs = Fixtures.small_site () in
+  let path, install =
+    Fixtures.compiled_binary ~program:Fixtures.fortran_program site installs
+  in
+  let env = Fixtures.session_env site install in
+  Fixtures.run_exn
+    (Phases.source_phase Config.default site env ~binary_path:path)
+
+let test_manifest_export_byte_identical () =
+  let bundle = make_bundle () in
+  let store = Store.create () in
+  let manifest = Bundle_manifest.of_bundle store bundle in
+  let bundle' = Fixtures.run_exn (Bundle_manifest.to_bundle store manifest) in
+  Alcotest.(check string) "legacy render byte-identical"
+    (Bundle_io.render bundle) (Bundle_io.render bundle')
+
+let test_manifest_render_parse_roundtrip () =
+  let bundle = make_bundle () in
+  let store = Store.create () in
+  let manifest = Bundle_manifest.of_bundle store bundle in
+  let text = Bundle_io.render_manifest manifest in
+  Alcotest.(check bool) "has manifest magic" true
+    (String.starts_with ~prefix:Bundle_io.manifest_magic text);
+  let manifest' = Fixtures.run_exn (Bundle_io.parse_manifest text) in
+  Alcotest.(check string) "render stable across parse" text
+    (Bundle_io.render_manifest manifest');
+  (* the re-parsed manifest still resolves to the same legacy bytes *)
+  let bundle' = Fixtures.run_exn (Bundle_manifest.to_bundle store manifest') in
+  Alcotest.(check string) "export after reparse byte-identical"
+    (Bundle_io.render bundle) (Bundle_io.render bundle')
+
+let test_export_fails_on_missing_object () =
+  let bundle = make_bundle () in
+  let store = Store.create () in
+  let manifest = Bundle_manifest.of_bundle store bundle in
+  ignore (Store.gc store);
+  (* unpinned, no roots: everything swept *)
+  Alcotest.(check bool) "export reports the missing object" true
+    (Result.is_error (Bundle_manifest.to_bundle store manifest))
+
+(* -- Transfer planner --------------------------------------------------- *)
+
+let want i size = Planner.want ~label:(Printf.sprintf "lib%d.so" i)
+    ~key:(Chash.of_bytes (Printf.sprintf "payload-%d" i))
+    ~size
+
+let test_plan_dedup_and_possession () =
+  let wants = [ want 1 100; want 2 200; want 1 100; want 3 300 ] in
+  let possession = Planner.Possession.create () in
+  let plan =
+    Planner.compute ~site:"s1"
+      ~possessed:(Planner.Possession.mem possession ~site:"s1")
+      wants
+  in
+  Alcotest.(check int) "duplicate want collapsed" 3 (List.length plan.Planner.items);
+  Alcotest.(check int) "shipped bytes" 600 plan.Planner.shipped_bytes;
+  Alcotest.(check int) "legacy counts duplicates" 700 (Planner.legacy_bytes wants);
+  Planner.Possession.commit possession plan;
+  let again =
+    Planner.compute ~site:"s1"
+      ~possessed:(Planner.Possession.mem possession ~site:"s1")
+      wants
+  in
+  Alcotest.(check int) "second plan ships nothing" 0 (List.length again.Planner.items);
+  Alcotest.(check int) "all hits" 3 again.Planner.hits;
+  (* a different site possesses nothing *)
+  let other =
+    Planner.compute ~site:"s2"
+      ~possessed:(Planner.Possession.mem possession ~site:"s2")
+      wants
+  in
+  Alcotest.(check int) "other site ships all" 3 (List.length other.Planner.items)
+
+let test_plan_render_deterministic () =
+  let wants = [ want 1 100; want 2 200 ] in
+  let plan = Planner.compute ~site:"s" ~possessed:(fun _ -> false) wants in
+  let plan' = Planner.compute ~site:"s" ~possessed:(fun _ -> false) wants in
+  Alcotest.(check string) "renders byte-identical" (Planner.render plan)
+    (Planner.render plan')
+
+(* -- Plan journal replay ------------------------------------------------ *)
+
+let with_recorder f =
+  let buf = Buffer.create 4096 in
+  Feam_flightrec.Recorder.configure ~tool:"test"
+    ~emit:(fun body ->
+      Buffer.clear buf;
+      Buffer.add_string buf body)
+    ();
+  let result =
+    match f () with
+    | x ->
+      Feam_flightrec.Recorder.flush ();
+      Feam_flightrec.Recorder.disable ();
+      x
+    | exception e ->
+      Feam_flightrec.Recorder.disable ();
+      raise e
+  in
+  (result, Buffer.contents buf)
+
+let test_plan_journal_replays_byte_for_byte () =
+  let wants = [ want 1 100; want 2 200; want 1 100; want 3 300 ] in
+  let possession = Planner.Possession.create () in
+  Planner.Possession.add possession ~site:"s1" (Chash.of_bytes "payload-2");
+  let plan, text =
+    with_recorder (fun () ->
+        let plan =
+          Planner.compute ~site:"s1"
+            ~possessed:(Planner.Possession.mem possession ~site:"s1")
+            wants
+        in
+        Planner.journal ~wants plan;
+        plan)
+  in
+  let journal =
+    match Feam_flightrec.Journal.parse text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "journal does not parse: %s" e
+  in
+  Alcotest.(check bool) "journal carries a plan" true (Replay.has_plan journal);
+  let outcome = Fixtures.run_exn (Replay.plan_of_journal journal) in
+  Alcotest.(check bool) "replay matches byte-for-byte" true
+    outcome.Replay.plan_matches;
+  Alcotest.(check string) "replayed rendering equals live rendering"
+    (Planner.render plan) outcome.Replay.plan_rendered
+
+let suite =
+  ( "depot",
+    [
+      QCheck_alcotest.to_alcotest prop_chash_stable;
+      QCheck_alcotest.to_alcotest prop_chash_distinct;
+      Alcotest.test_case "intern hit/miss" `Quick test_intern_hit_miss;
+      Alcotest.test_case "gc keeps pinned and roots" `Quick
+        test_gc_keeps_pinned_and_roots;
+      QCheck_alcotest.to_alcotest prop_gc_never_sweeps_reachable;
+      Alcotest.test_case "save/load round-trip" `Quick test_save_load_roundtrip;
+      Alcotest.test_case "manifest export byte-identical" `Quick
+        test_manifest_export_byte_identical;
+      Alcotest.test_case "manifest render/parse round-trip" `Quick
+        test_manifest_render_parse_roundtrip;
+      Alcotest.test_case "export fails on missing object" `Quick
+        test_export_fails_on_missing_object;
+      Alcotest.test_case "plan dedup and possession" `Quick
+        test_plan_dedup_and_possession;
+      Alcotest.test_case "plan render deterministic" `Quick
+        test_plan_render_deterministic;
+      Alcotest.test_case "plan journal replays byte-for-byte" `Quick
+        test_plan_journal_replays_byte_for_byte;
+    ] )

@@ -145,7 +145,17 @@ let dirty_bundle () =
           bar_bytes;
       ];
     unlocatable = [ "libwidget.so.3"; "libbar.so.2" ];
-    probes = [];
+    probes =
+      [
+        (* a probe whose name would escape the staging directory *)
+        (let probe_bytes = image () in
+         {
+           Bundle.probe_name = "../hello_mpi";
+           probe_bytes;
+           probe_stack_slug = "openmpi-1.4.3";
+           probe_declared_size = String.length probe_bytes;
+         });
+      ];
     source_discovery = discovery;
   }
 
@@ -181,7 +191,9 @@ let test_clean_bundle () =
     (Engine.summary findings)
 
 let expected_dirty_text =
-  {golden|feam lint: /home/user/bin/app (bundled at home, 2 copies, 0 probes) -> india
+  {golden|feam lint: /home/user/bin/app (bundled at home, 2 copies, 1 probes) -> india
+error bundle-entry-unsafe   ../hello_mpi: probe name "../hello_mpi" contains a ".." path component and would escape the staging directory
+      fix: strip the directory components from the entry name
 error glibc-verneed         /home/user/bin/app: requires symbol version GLIBC_2.12 from libc.so.6 but the target provides glibc 2.5
       fix: rebuild on a system with glibc <= 2.5, or migrate to a site providing glibc >= 2.12
 error glibc-verneed         /home/user/bin/app: requires symbol version GLIBC_2.99 from libc.so.6 but the target provides glibc 2.5
@@ -218,7 +230,7 @@ info  symbol-unresolved     bar_weak@BAR_2.0: imported by /home/user/bin/app but
       fix: re-stage a copy that exports the symbol from a site where the binary runs (feam symcheck prints the full bind log)
 info  unresolved-missing    libbar.so.2: recorded as unlocatable at the source, yet the bundle carries a copy that satisfies it
       fix: re-run the source phase to refresh the bundle manifest
-7 errors, 10 warnings, 2 info
+8 errors, 10 warnings, 2 info
 |golden}
 
 let test_dirty_text_golden () =
