@@ -281,12 +281,27 @@ let bench_depot_plan =
              Feam_depot.Planner.Possession.commit possession plan)
            cells))
 
+(* Differential agreement: scenario construction alone (sites built,
+   binary compiled, perturbations applied), then the full four-predictor
+   pipeline per scenario. *)
+let bench_agree_scengen =
+  Test.make ~name:"agree/scenario-gen"
+    (Staged.stage (fun () ->
+         ignore (Feam_evalharness.Scengen.build ~seed:42 ~index:0 ())))
+
+let bench_agree_pipeline =
+  Test.make ~name:"agree/full-pipeline"
+    (Staged.stage (fun () ->
+         ignore
+           (Feam_agree.Harness.run_one
+              (Feam_evalharness.Scengen.build ~seed:42 ~index:0 ()))))
+
 let all_benches =
   [
     bench_table1; bench_table2; bench_table3_basic; bench_table3_extended;
     bench_table4; bench_fig1; bench_fig2; bench_fig3; bench_fig4;
     bench_timing; bench_elf; bench_depot_hash; bench_depot_store;
-    bench_depot_plan;
+    bench_depot_plan; bench_agree_scengen; bench_agree_pipeline;
   ]
 
 (* Machine-readable results, derived from the observability layer's
@@ -309,6 +324,7 @@ let headline_benches =
     ("edc_discovery", "fig4/edc-discovery");
     ("both_phases", "fig2/both-phases");
     ("depot_plan_matrix", "depot/plan-matrix");
+    ("agree_full_pipeline", "agree/full-pipeline");
   ]
 
 let mean_of name =

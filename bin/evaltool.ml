@@ -43,6 +43,20 @@ let run_eval seed verbose =
     stats.Resolution_impact.missing_lib_fixed;
   Feam_util.Table.print (Tables.symbol_impact sites binaries);
   Fmt.pr "@.";
+  (* differential agreement: all four verdict sources over a seeded
+     perturbation corpus, scored against the dynamic-linker oracle *)
+  let agree_count = 200 in
+  Fmt.pr "Running the predictor-agreement corpus (%d scenarios, seed %d)...@."
+    agree_count params.Params.seed;
+  let agree_runs =
+    Feam_agree.Harness.run_corpus ~seed:params.Params.seed ~count:agree_count ()
+  in
+  Feam_util.Table.print (Feam_agree.Harness.score_table agree_runs);
+  Fmt.pr "@.";
+  Feam_util.Table.print (Feam_agree.Harness.pairwise_table agree_runs);
+  Fmt.pr "@.";
+  Feam_util.Table.print (Feam_agree.Harness.disagreement_table agree_runs);
+  Fmt.pr "@.";
   Feam_util.Table.print (Matrix.table (Matrix.build sites migrations));
   Fmt.pr "@.";
   Feam_util.Table.print (Effort.table migrations);

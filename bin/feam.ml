@@ -541,6 +541,7 @@ let cmd_lint debug trace trace_out scenario_name site binary bundle_file
     in
     Table.print
       (Table.make ~title:"feam lint rules" ~header:[ "Rule"; "Level"; "Checks" ] rows);
+    Printf.printf "%d rules registered\n" (Feam_analysis.Registry.count ());
     print_string
       "exit codes: 0 clean (info only), 1 warnings, 2 errors \
        (--fail-on warn|error|never tunes the gate)\n"
@@ -553,12 +554,12 @@ let cmd_lint debug trace trace_out scenario_name site binary bundle_file
     if json then
       print_endline (Json.render (Feam_analysis.Engine.to_json ctx findings))
     else print_string (Feam_analysis.Engine.render_text ctx findings);
-    let code = Feam_analysis.Engine.exit_code findings in
     let gated =
-      match fail_on with
-      | "never" -> 0
-      | "error" -> if code = 2 then 2 else 0
-      | _ -> code
+      match Feam_analysis.Engine.gate ~fail_on findings with
+      | Ok code -> code
+      | Error msg ->
+        Fmt.epr "feam lint: %s@." msg;
+        2
     in
     (* flush the trace sink before the gate's exit code short-circuits
        normal teardown (at_exit re-flushing is an idempotent no-op) *)
@@ -628,12 +629,12 @@ let cmd_symcheck debug trace trace_out journal scenario_name site binary
       findings;
     Fmt.pr "%s@." (Feam_analysis.Engine.summary findings)
   end;
-  let code = Feam_analysis.Engine.exit_code findings in
   let gated =
-    match fail_on with
-    | "never" -> 0
-    | "error" -> if code = 2 then 2 else 0
-    | _ -> code
+    match Feam_analysis.Engine.gate ~fail_on findings with
+    | Ok code -> code
+    | Error msg ->
+      Fmt.epr "feam symcheck: %s@." msg;
+      2
   in
   Feam_obs.flush ();
   exit gated
@@ -680,14 +681,47 @@ let replay_plan json journal =
         outcome.plan_rendered;
       exit 1)
 
+(* Rebuild and rerun a journaled agreement corpus — every scenario is a
+   pure function of its (seed, index, keep) coordinates — and check the
+   re-rendered report matches the recorded one byte-for-byte. *)
+let replay_agree json journal =
+  match Feam_agree.Replay.of_journal journal with
+  | Error e ->
+    Fmt.epr "replay failed: %s@." e;
+    exit 1
+  | Ok outcome ->
+    let open Feam_agree.Replay in
+    if json then
+      print_endline
+        (Json.render
+           (Json.Obj
+              [
+                ("matches", Json.Bool outcome.matches);
+                ("has_recorded_report", Json.Bool (outcome.recorded <> None));
+                ("scenarios", Json.Int (List.length outcome.runs));
+              ]))
+    else print_string outcome.rendered;
+    (match outcome.recorded with
+    | None ->
+      Fmt.epr "replay: the journal records no report text to compare against@."
+    | Some _ when outcome.matches ->
+      Fmt.epr "replay: report matches the journal's recorded text byte-for-byte@."
+    | Some recorded ->
+      Fmt.epr "replay: MISMATCH between the replayed and recorded reports@.";
+      Fmt.epr "--- recorded ---@.%s--- replayed ---@.%s" recorded
+        outcome.rendered;
+      exit 1)
+
 (* Re-run the prediction purely from a journal's recorded evidence and
    check it reproduces the recorded report byte-for-byte.  Transfer-plan
    journals (from `feam depot plan --journal` or the evalharness) are
-   dispatched to the plan replayer instead. *)
+   dispatched to the plan replayer, agreement-corpus journals (from
+   `feam agree run --journal`) to the corpus replayer. *)
 let cmd_replay debug json file =
   setup_logs debug;
   let journal = parse_journal file in
-  if Feam_core.Replay.has_plan journal then replay_plan json journal
+  if Feam_agree.Replay.has_corpus journal then replay_agree json journal
+  else if Feam_core.Replay.has_plan journal then replay_plan json journal
   else
   match Feam_core.Replay.of_journal journal with
   | Error e ->
@@ -727,6 +761,170 @@ let cmd_journal_diff debug json file_a file_b =
   if json then print_endline (Json.render (Feam_flightrec.Diff.to_json d))
   else print_string (Feam_flightrec.Diff.render_text d);
   if not (Feam_flightrec.Diff.is_empty d) then exit 1
+
+(* -- Differential agreement: `feam agree` ------------------------------------- *)
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let write_file file text =
+  Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc text)
+
+(* Journal one reproducer's rerun into its own replayable journal. *)
+let journal_reproducer file rp =
+  Feam_flightrec.Recorder.configure ~tool:"feam"
+    ~emit:(fun body -> write_file file body)
+    ();
+  let open Feam_agree in
+  let run =
+    Harness.rerun ~seed:rp.Minimize.rp_seed ~index:rp.Minimize.rp_index
+      ~keep:rp.Minimize.rp_keep
+  in
+  Harness.record_report [ run ];
+  Feam_flightrec.Recorder.flush ();
+  Feam_flightrec.Recorder.disable ()
+
+let write_minimized out_dir reproducers =
+  let open Feam_agree in
+  let dir = Filename.concat out_dir "minimized" in
+  ensure_dir out_dir;
+  ensure_dir dir;
+  List.iter
+    (fun rp ->
+      let base = Filename.concat dir (Minimize.filename rp) in
+      write_file base (Minimize.to_string rp);
+      journal_reproducer
+        (Filename.remove_extension base ^ ".journal")
+        rp)
+    reproducers
+
+let agree_unsound_json runs =
+  let open Feam_agree in
+  Json.List
+    (List.filter_map
+       (fun r ->
+         if r.Harness.r_unsound = [] then None
+         else
+           Some
+             (Json.Obj
+                [
+                  ( "scenario",
+                    Json.Str (Feam_evalharness.Scengen.id r.Harness.r_scenario)
+                  );
+                  ( "predictors",
+                    Json.List
+                      (List.map
+                         (fun p -> Json.Str (Verdict.predictor_name p))
+                         r.Harness.r_unsound) );
+                  ( "failure",
+                    match r.Harness.r_failure with
+                    | Some f -> Json.Str (Verdict.failure_class f)
+                    | None -> Json.Null );
+                ]))
+       runs)
+
+let cmd_agree_run debug trace trace_out journal seed count json out minimize =
+  setup_logs debug;
+  setup_obs ~journal trace trace_out;
+  let open Feam_agree in
+  let runs = Harness.run_corpus ~seed ~count () in
+  Harness.record_report runs;
+  let report = Harness.render_report runs in
+  let reproducers = if minimize then Minimize.shrink_all runs else [] in
+  if json then
+    print_endline
+      (Json.render
+         (Json.Obj
+            [
+              ("seed", Json.Int seed);
+              ("scenarios", Json.Int (List.length runs));
+              ( "disagreements",
+                Json.Int
+                  (List.length (List.filter Harness.disagrees runs)) );
+              ("unsound", agree_unsound_json runs);
+              ( "minimized",
+                Json.List
+                  (List.map
+                     (fun rp -> Json.Str (Minimize.filename rp))
+                     reproducers) );
+            ]))
+  else begin
+    print_string report;
+    List.iter
+      (fun rp ->
+        Fmt.pr "minimized %d/%d -> keep [%s]: %s unsound for %s (%s)@."
+          rp.Minimize.rp_seed rp.Minimize.rp_index
+          (String.concat " " (List.map string_of_int rp.Minimize.rp_keep))
+          (Verdict.predictor_name rp.Minimize.rp_predictor)
+          rp.Minimize.rp_failure
+          (String.concat ", " rp.Minimize.rp_perturbations))
+      reproducers
+  end;
+  (match out with
+  | None -> ()
+  | Some dir ->
+    ensure_dir dir;
+    write_file (Filename.concat dir "tables.txt") report;
+    if minimize then write_minimized dir reproducers);
+  Feam_obs.flush ()
+
+let cmd_agree_minimize debug seed index out =
+  setup_logs debug;
+  let open Feam_agree in
+  let run = Harness.run_one (Feam_evalharness.Scengen.build ~seed ~index ()) in
+  if run.Harness.r_unsound = [] then begin
+    Fmt.epr
+      "scenario %d/%d has no unsound acceptance to minimize (oracle: %s)@."
+      seed index
+      (match run.Harness.r_failure with
+      | Some f -> Verdict.failure_class f
+      | None -> "success");
+    exit 1
+  end;
+  List.iter
+    (fun p ->
+      match Minimize.shrink run p with
+      | Error e ->
+        Fmt.epr "minimize failed: %s@." e;
+        exit 1
+      | Ok (rp, probes) ->
+        print_string (Minimize.to_string rp);
+        Fmt.epr "minimized to %d of %d perturbations in %d probe runs@."
+          (List.length rp.Minimize.rp_keep)
+          (List.length run.Harness.r_scenario.Feam_evalharness.Scengen.sc_all)
+          probes;
+        (match out with
+        | None -> ()
+        | Some dir ->
+          write_minimized dir [ rp ];
+          Fmt.epr "wrote %s@."
+            (Filename.concat (Filename.concat dir "minimized")
+               (Minimize.filename rp))))
+    run.Harness.r_unsound
+
+let cmd_agree_report debug json file =
+  setup_logs debug;
+  let journal = parse_journal file in
+  match Feam_flightrec.Journal.payload ~kind:"agree.report" journal with
+  | Some (Json.Str report) ->
+    if json then
+      print_endline
+        (Json.render
+           (Json.Obj
+              [
+                ( "scenarios",
+                  Json.Int
+                    (List.length
+                       (Feam_flightrec.Journal.find_all ~kind:"payload" journal
+                       |> List.filter (fun r ->
+                              Feam_flightrec.Journal.str_field "kind" r
+                              = Some "agree.scenario"))) );
+                ("report", Json.Str report);
+              ]))
+    else print_string report
+  | Some _ | None ->
+    Fmt.epr "%s: no agreement report recorded (run 'feam agree run --journal')@."
+      file;
+    exit 1
 
 let cmd_bundle debug scenario_name site binary out =
   setup_logs debug;
@@ -1121,14 +1319,18 @@ let lint_list_rules_arg =
     value & flag
     & info [ "list-rules" ] ~doc:"List the registered rules and exit.")
 
+(* A plain string, not Arg.enum: the gate itself (Engine.gate) owns
+   validation, so an unknown level exits 2 with a usage message after
+   the findings are still reported, instead of cmdliner's exit 124
+   before any analysis runs. *)
 let lint_fail_on_arg =
   Arg.(
     value
-    & opt (enum [ ("warn", "warn"); ("error", "error"); ("never", "never") ])
-        "warn"
+    & opt string "warn"
     & info [ "fail-on" ] ~docv:"LEVEL"
         ~doc:"Exit-code gate: 'warn' (default; 2 on errors, 1 on warnings), \
-              'error' (2 on errors only), or 'never' (report only).")
+              'error' (2 on errors only), or 'never' (report only).  \
+              Anything else is rejected with exit 2.")
 
 let lint_cmd =
   Cmd.v
@@ -1331,6 +1533,79 @@ let depot_export_cmd =
       const cmd_depot_export $ debug_arg $ depot_dir_arg
       $ depot_manifest_file_arg $ out_arg)
 
+let agree_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Corpus seed.  Every scenario is a pure function of (seed, \
+              index), so equal seeds yield byte-identical corpora and \
+              tables.")
+
+let agree_count_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "count" ] ~docv:"N" ~doc:"Number of scenarios to generate.")
+
+let agree_index_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "index" ] ~docv:"INDEX" ~doc:"Scenario index within the seed.")
+
+let agree_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ; "o" ] ~docv:"DIR"
+        ~doc:"Write the report to DIR/tables.txt and minimized reproducers \
+              (with replayable journals) under DIR/minimized/.")
+
+let agree_minimize_arg =
+  Arg.(
+    value & flag
+    & info [ "minimize" ]
+        ~doc:"Shrink every unsound disagreement to a minimal reproducer by \
+              iteratively undoing perturbations.")
+
+let agree_run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Generate a seeded scenario corpus and run all four verdict \
+             sources — TEC determinants, lint rules, symcheck binding, and \
+             the dynamic-linker oracle — over each scenario through one \
+             shared description pass.  Prints precision/recall/overturn \
+             and pairwise-agreement tables plus every unsound acceptance.")
+    Term.(
+      const cmd_agree_run $ debug_arg $ trace_arg $ trace_out_arg
+      $ journal_arg $ agree_seed_arg $ agree_count_arg $ json_arg
+      $ agree_out_arg $ agree_minimize_arg)
+
+let agree_minimize_cmd =
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:"Shrink one scenario's unsound disagreement to a 1-minimal \
+             reproducer: the smallest perturbation subset that still makes \
+             a strictly-ready predictor miss the oracle's failure.")
+    Term.(
+      const cmd_agree_minimize $ debug_arg $ agree_seed_arg $ agree_index_arg
+      $ agree_out_arg)
+
+let agree_report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Print the agreement report a journal recorded ('feam replay' \
+             re-runs the corpus instead and verifies byte-for-byte).")
+    Term.(const cmd_agree_report $ debug_arg $ json_arg $ journal_file_arg)
+
+let agree_cmd =
+  Cmd.group
+    (Cmd.info "agree"
+       ~doc:"Differential predictor-agreement harness: a seeded scenario \
+             corpus, four verdict sources normalized into one lattice, \
+             soundness scoring against the ground-truth oracle, and \
+             disagreement minimization.")
+    [ agree_run_cmd; agree_minimize_cmd; agree_report_cmd ]
+
 let depot_cmd =
   Cmd.group
     (Cmd.info "depot"
@@ -1345,8 +1620,8 @@ let main =
     (Cmd.info "feam" ~version:"1.0.0"
        ~doc:"Framework for Efficient Application Migration (simulated sites)")
     [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; metrics_cmd;
-      lint_cmd; symcheck_cmd; replay_cmd; diff_cmd; config_check_cmd;
-      bundle_cmd; inspect_bundle_cmd; depot_cmd; advise_cmd; rank_cmd;
-      scenario_template_cmd ]
+      lint_cmd; symcheck_cmd; agree_cmd; replay_cmd; diff_cmd;
+      config_check_cmd; bundle_cmd; inspect_bundle_cmd; depot_cmd;
+      advise_cmd; rank_cmd; scenario_template_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,188 @@
+(* Greedy delta-debugging over the perturbation keep-set.  Because every
+   scenario parameter is drawn from its own keyed PRNG stream whether or
+   not the perturbation is kept, dropping index i changes nothing except
+   perturbation i itself — so a simple one-at-a-time descent converges
+   to a 1-minimal keep-set without ddmin's partition bookkeeping. *)
+
+type reproducer = {
+  rp_seed : int;
+  rp_index : int;
+  rp_keep : int list;
+  rp_predictor : Verdict.predictor;
+  rp_failure : string;
+  rp_perturbations : string list;
+}
+
+let unsound_as run predictor failure =
+  List.mem predictor run.Harness.r_unsound
+  &&
+  match run.Harness.r_failure with
+  | Some f -> Verdict.failure_class f = failure
+  | None -> false
+
+let shrink (run : Harness.run) predictor =
+  let sc = run.Harness.r_scenario in
+  let open Feam_evalharness in
+  if not (List.mem predictor run.Harness.r_unsound) then
+    Error
+      (Printf.sprintf "scenario %s is not unsound for %s" (Scengen.id sc)
+         (Verdict.predictor_name predictor))
+  else
+    let failure =
+      match run.Harness.r_failure with
+      | Some f -> Verdict.failure_class f
+      | None -> assert false
+    in
+    let probes = ref 0 in
+    let holds keep =
+      incr probes;
+      let r =
+        Harness.rerun ~seed:sc.Scengen.sc_seed ~index:sc.Scengen.sc_index ~keep
+      in
+      unsound_as r predictor failure
+    in
+    (* One pass: try dropping each kept index in turn, adopting any drop
+       that preserves the unsoundness.  Repeat until no drop sticks. *)
+    let rec fixpoint keep =
+      let shrunk =
+        List.fold_left
+          (fun keep i ->
+            let candidate = List.filter (fun j -> j <> i) keep in
+            if candidate <> [] && holds candidate then candidate else keep)
+          keep keep
+      in
+      if List.length shrunk < List.length keep then fixpoint shrunk else keep
+    in
+    let keep = fixpoint sc.Scengen.sc_keep in
+    let final =
+      Harness.rerun ~seed:sc.Scengen.sc_seed ~index:sc.Scengen.sc_index ~keep
+    in
+    Ok
+      ( {
+          rp_seed = sc.Scengen.sc_seed;
+          rp_index = sc.Scengen.sc_index;
+          rp_keep = keep;
+          rp_predictor = predictor;
+          rp_failure = failure;
+          rp_perturbations =
+            List.map Scengen.perturbation_to_string
+              (Scengen.applied final.Harness.r_scenario);
+        },
+        !probes )
+
+let shrink_all runs =
+  List.concat_map
+    (fun r ->
+      List.filter_map
+        (fun p ->
+          match shrink r p with Ok (rp, _) -> Some rp | Error _ -> None)
+        r.Harness.r_unsound)
+    runs
+
+let to_string rp =
+  String.concat "\n"
+    ([
+       "feam agree reproducer v1";
+       Printf.sprintf "seed %d" rp.rp_seed;
+       Printf.sprintf "index %d" rp.rp_index;
+       "keep " ^ String.concat " " (List.map string_of_int rp.rp_keep);
+       "predictor " ^ Verdict.predictor_name rp.rp_predictor;
+       "failure " ^ rp.rp_failure;
+     ]
+    @ List.map (fun p -> "perturbation " ^ p) rp.rp_perturbations)
+  ^ "\n"
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | "feam agree reproducer v1" :: rest ->
+    let field name =
+      List.find_map
+        (fun l ->
+          let prefix = name ^ " " in
+          let n = String.length prefix in
+          if String.length l >= n && String.sub l 0 n = prefix then
+            Some (String.sub l n (String.length l - n))
+          else if l = name then Some ""
+          else None)
+        rest
+    in
+    let ( let* ) r f = Result.bind r f in
+    let require name =
+      match field name with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "reproducer: missing %S line" name)
+    in
+    let int_field name =
+      let* v = require name in
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "reproducer: bad %s %S" name v)
+    in
+    let* rp_seed = int_field "seed" in
+    let* rp_index = int_field "index" in
+    let* keep_str = require "keep" in
+    let* rp_keep =
+      keep_str |> String.split_on_char ' '
+      |> List.filter (fun t -> t <> "")
+      |> List.fold_left
+           (fun acc t ->
+             let* acc = acc in
+             match int_of_string_opt t with
+             | Some i -> Ok (acc @ [ i ])
+             | None -> Error (Printf.sprintf "reproducer: bad keep index %S" t))
+           (Ok [])
+    in
+    let* pred_str = require "predictor" in
+    let* rp_predictor =
+      match Verdict.predictor_of_name pred_str with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "reproducer: unknown predictor %S" pred_str)
+    in
+    let* rp_failure = require "failure" in
+    let rp_perturbations =
+      List.filter_map
+        (fun l ->
+          let prefix = "perturbation " in
+          let n = String.length prefix in
+          if String.length l > n && String.sub l 0 n = prefix then
+            Some (String.sub l n (String.length l - n))
+          else None)
+        rest
+    in
+    Ok { rp_seed; rp_index; rp_keep; rp_predictor; rp_failure; rp_perturbations }
+  | _ -> Error "reproducer: missing \"feam agree reproducer v1\" header"
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' | '-' -> c
+      | '.' -> '-'
+      | _ -> '_')
+    (String.lowercase_ascii s)
+
+let filename rp =
+  let sig_ =
+    match rp.rp_perturbations with
+    | [] -> "none"
+    | ps -> String.concat "+" (List.map sanitize ps)
+  in
+  Printf.sprintf "agree_%s_%s_%s.agree"
+    (Verdict.predictor_name rp.rp_predictor)
+    (sanitize rp.rp_failure) sig_
+
+let check rp =
+  let r = Harness.rerun ~seed:rp.rp_seed ~index:rp.rp_index ~keep:rp.rp_keep in
+  if unsound_as r rp.rp_predictor rp.rp_failure then Ok r
+  else
+    Error
+      (Printf.sprintf
+         "reproducer %d/%d no longer reproduces: %s expected unsound for %s"
+         rp.rp_seed rp.rp_index
+         (Verdict.predictor_name rp.rp_predictor)
+         rp.rp_failure)

@@ -1,0 +1,50 @@
+(** Disagreement minimization: shrink an unsound scenario — a predictor
+    strictly ready while the oracle failed inside its claimed territory —
+    to a minimal reproducer by iteratively undoing perturbations.  The
+    result is 1-minimal: removing any single remaining perturbation
+    makes the unsoundness disappear. *)
+
+(** A minimal reproducer, rebuildable from (seed, index, keep) alone. *)
+type reproducer = {
+  rp_seed : int;
+  rp_index : int;
+  rp_keep : int list;  (** indices into the scenario's drawn list *)
+  rp_predictor : Verdict.predictor;  (** who was unsound *)
+  rp_failure : string;  (** oracle failure class it missed *)
+  rp_perturbations : string list;  (** kept perturbations, for humans *)
+}
+
+(** Shrink the run's unsound disagreement for [predictor] (must be in
+    [r_unsound]).  Each probe rebuilds the scenario with a candidate
+    keep-set and reruns all four predictors; the draw-always discipline
+    in {!Feam_evalharness.Scengen} guarantees undoing one perturbation
+    never changes another.  Returns the number of probe runs too. *)
+val shrink :
+  Harness.run -> Verdict.predictor -> (reproducer * int, string) result
+
+(** Minimize every unsound (run, predictor) pair of a corpus. *)
+val shrink_all : Harness.run list -> reproducer list
+
+(** Stable text serialization, suitable for checking into
+    [test/fixtures/]:
+
+    {v
+    feam agree reproducer v1
+    seed 42
+    index 17
+    keep 0 2
+    predictor tec
+    failure unsatisfied-versions
+    perturbation foreign-lib libfftw3.so.3
+    v} *)
+val to_string : reproducer -> string
+
+val of_string : string -> (reproducer, string) result
+
+(** Deterministic fixture filename:
+    [agree_<predictor>_<failure>_<perturbation-signature>.agree]. *)
+val filename : reproducer -> string
+
+(** Rebuild the reproducer's scenario, rerun the harness, and check the
+    recorded unsoundness still holds.  [Ok run] when it reproduces. *)
+val check : reproducer -> (Harness.run, string) result

@@ -1,0 +1,18 @@
+(** Replay of journaled agreement corpora: rebuild every journaled
+    scenario from its (seed, index, keep) coordinates, rerun the four
+    predictors, and compare the re-rendered report byte-for-byte with
+    the report text the journal recorded. *)
+
+type outcome = {
+  runs : Harness.run list;  (** the re-executed corpus *)
+  rendered : string;  (** {!Harness.render_report} of the rerun *)
+  recorded : string option;  (** report text the journal recorded *)
+  matches : bool;  (** [rendered] equals [recorded], byte for byte *)
+}
+
+(** Does this journal carry an agreement corpus? *)
+val has_corpus : Feam_flightrec.Journal.t -> bool
+
+(** Rebuild and rerun every journaled scenario.  Errors when the
+    journal has no [agree.scenario] payloads or one is malformed. *)
+val of_journal : Feam_flightrec.Journal.t -> (outcome, string) result

@@ -46,6 +46,18 @@ let exit_code findings =
   | Some Diagnose.Warn -> 1
   | Some Diagnose.Info | None -> 0
 
+let fail_on_levels = [ "warn"; "error"; "never" ]
+
+let gate ~fail_on findings =
+  match fail_on with
+  | "warn" -> Ok (exit_code findings)
+  | "error" -> Ok (if exit_code findings = 2 then 2 else 0)
+  | "never" -> Ok 0
+  | other ->
+    Error
+      (Printf.sprintf "unknown --fail-on level %S (expected %s)" other
+         (String.concat ", " fail_on_levels))
+
 let plural n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s")
 
 let summary findings =

@@ -17,6 +17,16 @@ val worst : Feam_core.Diagnose.finding list -> Feam_core.Diagnose.level option
 (** The CI-gate contract: 0 clean (infos allowed), 1 warnings, 2 errors. *)
 val exit_code : Feam_core.Diagnose.finding list -> int
 
+(** The valid [--fail-on] levels, for usage messages. *)
+val fail_on_levels : string list
+
+(** Apply a [--fail-on] gate to the findings: ["warn"] is {!exit_code}
+    unchanged, ["error"] keeps only the error exit, ["never"] always
+    passes.  Any other level is an error naming the valid set — the
+    gate never silently accepts an unknown severity. *)
+val gate :
+  fail_on:string -> Feam_core.Diagnose.finding list -> (int, string) result
+
 (** One-line tally, e.g. "2 errors, 1 warning, 0 info". *)
 val summary : Feam_core.Diagnose.finding list -> string
 

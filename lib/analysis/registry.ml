@@ -17,6 +17,20 @@ let all () =
 
 let ids () = List.map (fun r -> r.Rule.id) (all ())
 
+let count () = Hashtbl.length rules
+
+let markdown_table () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "| Rule | Default level | Checks |\n|---|---|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "| `%s` | %s | %s |\n" r.Rule.id
+           (Feam_core.Diagnose.level_to_string r.Rule.default_level)
+           r.Rule.title))
+    (all ());
+  Buffer.contents buf
+
 let () =
   List.iter register
     [

@@ -12,3 +12,12 @@ val all : unit -> Rule.t list
 
 (** Rule ids, sorted. *)
 val ids : unit -> string list
+
+(** Number of registered rules — the single source the docs and
+    [--list-rules] derive their counts from, so they cannot drift. *)
+val count : unit -> int
+
+(** The registered rules as a GitHub-flavored markdown table
+    (Rule | Level | Checks), derived from the registry so the README
+    table is generated, not hand-counted. *)
+val markdown_table : unit -> string

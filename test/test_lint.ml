@@ -328,6 +328,67 @@ let test_report_carries_findings () =
     Alcotest.(check int) "json lint entries" (List.length findings) (List.length l)
   | _ -> Alcotest.fail "report JSON lacks a lint list"
 
+(* -- the --fail-on gate ------------------------------------------------- *)
+
+let test_gate () =
+  let finding level =
+    {
+      Diagnose.level;
+      rule_id = "isa-mismatch";
+      subject = "app";
+      message = "m";
+      fixit = None;
+    }
+  in
+  let errors = [ finding Diagnose.Error ] in
+  let warnings = [ finding Diagnose.Warn ] in
+  Alcotest.(check (result int string)) "warn gates warnings" (Ok 1)
+    (Engine.gate ~fail_on:"warn" warnings);
+  Alcotest.(check (result int string)) "warn gates errors" (Ok 2)
+    (Engine.gate ~fail_on:"warn" errors);
+  Alcotest.(check (result int string)) "error passes warnings" (Ok 0)
+    (Engine.gate ~fail_on:"error" warnings);
+  Alcotest.(check (result int string)) "error gates errors" (Ok 2)
+    (Engine.gate ~fail_on:"error" errors);
+  Alcotest.(check (result int string)) "never passes everything" (Ok 0)
+    (Engine.gate ~fail_on:"never" errors);
+  (* the regression: an unknown severity must be rejected with a usage
+     message naming the valid set, never treated as the default *)
+  match Engine.gate ~fail_on:"eror" errors with
+  | Ok _ -> Alcotest.fail "unknown --fail-on level silently accepted"
+  | Error msg ->
+    List.iter
+      (fun level ->
+        Alcotest.(check bool)
+          (Printf.sprintf "usage message names %S" level)
+          true
+          (Feam_sysmodel.Str_split.contains ~sub:level msg))
+      Engine.fail_on_levels
+
+(* -- registry-derived docs ---------------------------------------------- *)
+
+let test_registry_count () =
+  Alcotest.(check int) "count matches the registered rules"
+    (List.length (Registry.all ()))
+    (Registry.count ());
+  Alcotest.(check int) "rule table row per rule"
+    (Registry.count () + 2)
+    (List.length
+       (String.split_on_char '\n' (String.trim (Registry.markdown_table ()))))
+
+(* The README rule table is generated from the registry; re-derive it
+   and compare the table region byte-for-byte so docs cannot drift from
+   the code (the drift this test exists for: a 12-row table against 13
+   registered rules). *)
+let test_readme_table_in_sync () =
+  let readme =
+    In_channel.with_open_text "../README.md" In_channel.input_all
+  in
+  let expected = Registry.markdown_table () in
+  Alcotest.(check bool)
+    "README contains the registry-derived rule table verbatim" true
+    (Feam_sysmodel.Str_split.contains ~sub:expected readme)
+
 let suite =
   ( "lint",
     [
@@ -337,4 +398,8 @@ let suite =
       Alcotest.test_case "dirty json golden" `Quick test_dirty_json_golden;
       Alcotest.test_case "remedies from findings" `Quick test_remedies_from_findings;
       Alcotest.test_case "report carries findings" `Quick test_report_carries_findings;
+      Alcotest.test_case "fail-on gate rejects unknown levels" `Quick test_gate;
+      Alcotest.test_case "registry count and table" `Quick test_registry_count;
+      Alcotest.test_case "README rule table in sync" `Quick
+        test_readme_table_in_sync;
     ] )
