@@ -1,18 +1,21 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation and measures the cost of the computation behind each with
-   Bechamel.
+   evaluation and measures the cost of the computation behind each.
 
-   Layout: one Bechamel Test.make per experiment (Table I-IV, Figures
-   1-4, the SVI.C timing/bundle measurements), then the regenerated
-   artifacts themselves, printed in the paper's format with the paper's
-   numbers alongside.
+   Layout: one (name, thunk) bench per experiment (Table I-IV, Figures
+   1-4, the SVI.C timing/bundle measurements), a hand-rolled
+   warmup-then-sample harness (each bench runs a warmup to size its
+   batch, then several timed samples feed the bench histogram — so the
+   bucket data in BENCH_feam.json reflects real spread, not a single
+   point), then the regenerated artifacts themselves, printed in the
+   paper's format with the paper's numbers alongside.
+
+   Every run also appends its means to BENCH_history.jsonl, the
+   trajectory `feam bench report` (the perf-regression sentinel) reads.
 
    Usage:  dune exec bench/main.exe            (benches + all artifacts)
            dune exec bench/main.exe -- tables  (artifacts only)
            dune exec bench/main.exe -- bench   (benches only) *)
 
-open Bechamel
-open Toolkit
 open Feam_evalharness
 
 let params = Params.default
@@ -101,131 +104,130 @@ module Fixture = struct
     ]
 end
 
-(* -- Bechamel benches: one per table / figure -------------------------------- *)
+(* -- Benches: one per table / figure ----------------------------------------- *)
 
 let bench_table1 =
-  Test.make ~name:"table1/mpi-identification"
-    (Staged.stage (fun () ->
-         List.iter
-           (fun needed -> ignore (Feam_core.Mpi_ident.identify needed))
-           Fixture.needed_corpus))
+  ( "table1/mpi-identification",
+    fun () ->
+      List.iter
+        (fun needed -> ignore (Feam_core.Mpi_ident.identify needed))
+        Fixture.needed_corpus )
 
 let bench_table2 =
-  Test.make ~name:"table2/site-provisioning"
-    (Staged.stage (fun () ->
-         ignore (Sites.build_site params (List.hd Sites.specs))))
+  ( "table2/site-provisioning",
+    fun () -> ignore (Sites.build_site params (List.hd Sites.specs)) )
 
 let bench_table3_basic =
-  Test.make ~name:"table3/basic-prediction"
-    (Staged.stage (fun () ->
-         Fixture.cleanup_target ();
-         let path = Fixture.stage_binary () in
-         ignore
-           (Feam_core.Phases.target_phase Fixture.config Fixture.target
-              (Feam_sysmodel.Site.base_env Fixture.target)
-              ~binary_path:path ())))
+  ( "table3/basic-prediction",
+    fun () ->
+      Fixture.cleanup_target ();
+      let path = Fixture.stage_binary () in
+      ignore
+        (Feam_core.Phases.target_phase Fixture.config Fixture.target
+           (Feam_sysmodel.Site.base_env Fixture.target)
+           ~binary_path:path ()) )
 
 let bench_table3_extended =
-  Test.make ~name:"table3/extended-prediction"
-    (Staged.stage (fun () ->
-         Fixture.cleanup_target ();
-         let path = Fixture.stage_binary () in
-         ignore
-           (Feam_core.Phases.target_phase Fixture.config Fixture.target
-              (Feam_sysmodel.Site.base_env Fixture.target)
-              ~bundle:Fixture.bundle ~binary_path:path ())))
+  ( "table3/extended-prediction",
+    fun () ->
+      Fixture.cleanup_target ();
+      let path = Fixture.stage_binary () in
+      ignore
+        (Feam_core.Phases.target_phase Fixture.config Fixture.target
+           (Feam_sysmodel.Site.base_env Fixture.target)
+           ~bundle:Fixture.bundle ~binary_path:path ()) )
 
 let bench_table4 =
-  Test.make ~name:"table4/resolution"
-    (Staged.stage (fun () ->
-         Fixture.cleanup_target ();
-         ignore
-           (Feam_core.Resolve_model.resolve Fixture.config Fixture.target
-              (Feam_sysmodel.Site.base_env Fixture.target)
-              ~bundle:Fixture.bundle
-              ~target_glibc:(Some (Feam_sysmodel.Site.glibc Fixture.target))
-              ~binary_machine:Feam_elf.Types.X86_64
-              ~binary_class:Feam_elf.Types.C64
-              ~missing:[ "libgfortran.so.1" ])))
+  ( "table4/resolution",
+    fun () ->
+      Fixture.cleanup_target ();
+      ignore
+        (Feam_core.Resolve_model.resolve Fixture.config Fixture.target
+           (Feam_sysmodel.Site.base_env Fixture.target)
+           ~bundle:Fixture.bundle
+           ~target_glibc:(Some (Feam_sysmodel.Site.glibc Fixture.target))
+           ~binary_machine:Feam_elf.Types.X86_64
+           ~binary_class:Feam_elf.Types.C64
+           ~missing:[ "libgfortran.so.1" ]) )
 
 let bench_fig1 =
-  Test.make ~name:"fig1/determinants"
-    (Staged.stage (fun () ->
-         Fixture.cleanup_target ();
-         let path = Fixture.stage_binary () in
-         let env = Feam_sysmodel.Site.base_env Fixture.target in
-         let description =
-           Result.get_ok (Feam_core.Bdc.describe Fixture.target env ~path)
-         in
-         let discovery = Feam_core.Edc.discover ~env_type:`Target Fixture.target env in
-         ignore
-           (Feam_core.Tec.evaluate Fixture.target env
-              {
-                Feam_core.Tec.config = Fixture.config;
-                description;
-                binary_path = Some path;
-                bundle = None;
-                discovery;
-              })))
+  ( "fig1/determinants",
+    fun () ->
+      Fixture.cleanup_target ();
+      let path = Fixture.stage_binary () in
+      let env = Feam_sysmodel.Site.base_env Fixture.target in
+      let description =
+        Result.get_ok (Feam_core.Bdc.describe Fixture.target env ~path)
+      in
+      let discovery = Feam_core.Edc.discover ~env_type:`Target Fixture.target env in
+      ignore
+        (Feam_core.Tec.evaluate Fixture.target env
+           {
+             Feam_core.Tec.config = Fixture.config;
+             description;
+             binary_path = Some path;
+             bundle = None;
+             discovery;
+           }) )
 
 let bench_fig2 =
-  Test.make ~name:"fig2/both-phases"
-    (Staged.stage (fun () ->
-         Fixture.cleanup_target ();
-         let bundle =
-           Result.get_ok
-             (Feam_core.Phases.source_phase Fixture.config Fixture.home
-                Fixture.home_env ~binary_path:Fixture.home_path)
-         in
-         ignore
-           (Feam_core.Phases.target_phase Fixture.config Fixture.target
-              (Feam_sysmodel.Site.base_env Fixture.target)
-              ~bundle ())))
+  ( "fig2/both-phases",
+    fun () ->
+      Fixture.cleanup_target ();
+      let bundle =
+        Result.get_ok
+          (Feam_core.Phases.source_phase Fixture.config Fixture.home
+             Fixture.home_env ~binary_path:Fixture.home_path)
+      in
+      ignore
+        (Feam_core.Phases.target_phase Fixture.config Fixture.target
+           (Feam_sysmodel.Site.base_env Fixture.target)
+           ~bundle ()) )
 
 let bench_fig3 =
-  Test.make ~name:"fig3/bdc-description"
-    (Staged.stage (fun () ->
-         ignore
-           (Feam_core.Bdc.describe Fixture.home Fixture.home_env
-              ~path:Fixture.home_path)))
+  ( "fig3/bdc-description",
+    fun () ->
+      ignore
+        (Feam_core.Bdc.describe Fixture.home Fixture.home_env
+           ~path:Fixture.home_path) )
 
 let bench_fig4 =
-  Test.make ~name:"fig4/edc-discovery"
-    (Staged.stage (fun () ->
-         ignore
-           (Feam_core.Edc.discover ~env_type:`Target Fixture.target
-              (Feam_sysmodel.Site.base_env Fixture.target))))
+  ( "fig4/edc-discovery",
+    fun () ->
+      ignore
+        (Feam_core.Edc.discover ~env_type:`Target Fixture.target
+           (Feam_sysmodel.Site.base_env Fixture.target)) )
 
 let bench_timing =
-  Test.make ~name:"timing/ground-truth-execution"
-    (Staged.stage (fun () ->
-         Fixture.cleanup_target ();
-         let path = Fixture.stage_binary () in
-         let env =
-           Feam_sysmodel.Modules_tool.load_stack
-             (Feam_sysmodel.Site.base_env Fixture.target)
-             (List.hd (Feam_sysmodel.Site.stack_installs Fixture.target))
-         in
-         ignore
-           (Feam_dynlinker.Exec.run Fixture.target env ~binary_path:path
-              ~mode:(Feam_dynlinker.Exec.Mpi 4))))
+  ( "timing/ground-truth-execution",
+    fun () ->
+      Fixture.cleanup_target ();
+      let path = Fixture.stage_binary () in
+      let env =
+        Feam_sysmodel.Modules_tool.load_stack
+          (Feam_sysmodel.Site.base_env Fixture.target)
+          (List.hd (Feam_sysmodel.Site.stack_installs Fixture.target))
+      in
+      ignore
+        (Feam_dynlinker.Exec.run Fixture.target env ~binary_path:path
+           ~mode:(Feam_dynlinker.Exec.Mpi 4)) )
 
 let bench_elf =
-  Test.make ~name:"substrate/elf-build-parse"
-    (Staged.stage (fun () ->
-         let spec =
-           Feam_elf.Spec.make
-             ~needed:[ "libmpi.so.0"; "libc.so.6" ]
-             ~verneeds:
-               [
-                 {
-                   Feam_elf.Spec.vn_file = "libc.so.6";
-                   vn_versions = [ "GLIBC_2.2.5" ];
-                 };
-               ]
-             Feam_elf.Types.X86_64
-         in
-         ignore (Feam_elf.Reader.parse (Feam_elf.Builder.build spec))))
+  ( "substrate/elf-build-parse",
+    fun () ->
+      let spec =
+        Feam_elf.Spec.make
+          ~needed:[ "libmpi.so.0"; "libc.so.6" ]
+          ~verneeds:
+            [
+              {
+                Feam_elf.Spec.vn_file = "libc.so.6";
+                vn_versions = [ "GLIBC_2.2.5" ];
+              };
+            ]
+          Feam_elf.Types.X86_64
+      in
+      ignore (Feam_elf.Reader.parse (Feam_elf.Builder.build spec)) )
 
 (* -- Depot benches: content hashing, store round-trip, matrix planning -- *)
 
@@ -237,21 +239,19 @@ let depot_payloads =
     Fixture.bundle.Feam_core.Bundle.copies
 
 let bench_depot_hash =
-  Test.make ~name:"depot/content-hash"
-    (Staged.stage (fun () ->
-         List.iter
-           (fun bytes -> ignore (Feam_depot.Chash.of_bytes bytes))
-           depot_payloads))
+  ( "depot/content-hash",
+    fun () ->
+      List.iter
+        (fun bytes -> ignore (Feam_depot.Chash.of_bytes bytes))
+        depot_payloads )
 
 let bench_depot_store =
-  Test.make ~name:"depot/store-roundtrip"
-    (Staged.stage (fun () ->
-         let store = Feam_depot.Store.create () in
-         let manifest =
-           Feam_core.Bundle_manifest.of_bundle store Fixture.bundle
-         in
-         ignore
-           (Result.get_ok (Feam_core.Bundle_manifest.to_bundle store manifest))))
+  ( "depot/store-roundtrip",
+    fun () ->
+      let store = Feam_depot.Store.create () in
+      let manifest = Feam_core.Bundle_manifest.of_bundle store Fixture.bundle in
+      ignore (Result.get_ok (Feam_core.Bundle_manifest.to_bundle store manifest))
+  )
 
 (* The full NAS+SPEC matrix's (target, wants) cells — built once, lazily,
    so `bench tables` never pays for it; the bench then measures planning
@@ -267,34 +267,33 @@ let depot_matrix_cells =
        stats.Depot_stats.ds_cells)
 
 let bench_depot_plan =
-  Test.make ~name:"depot/plan-matrix"
-    (Staged.stage (fun () ->
-         let cells = Lazy.force depot_matrix_cells in
-         let possession = Feam_depot.Planner.Possession.create () in
-         List.iter
-           (fun (site, wants) ->
-             let plan =
-               Feam_depot.Planner.compute ~site
-                 ~possessed:(Feam_depot.Planner.Possession.mem possession ~site)
-                 wants
-             in
-             Feam_depot.Planner.Possession.commit possession plan)
-           cells))
+  ( "depot/plan-matrix",
+    fun () ->
+      let cells = Lazy.force depot_matrix_cells in
+      let possession = Feam_depot.Planner.Possession.create () in
+      List.iter
+        (fun (site, wants) ->
+          let plan =
+            Feam_depot.Planner.compute ~site
+              ~possessed:(Feam_depot.Planner.Possession.mem possession ~site)
+              wants
+          in
+          Feam_depot.Planner.Possession.commit possession plan)
+        cells )
 
 (* Differential agreement: scenario construction alone (sites built,
    binary compiled, perturbations applied), then the full four-predictor
    pipeline per scenario. *)
 let bench_agree_scengen =
-  Test.make ~name:"agree/scenario-gen"
-    (Staged.stage (fun () ->
-         ignore (Feam_evalharness.Scengen.build ~seed:42 ~index:0 ())))
+  ( "agree/scenario-gen",
+    fun () -> ignore (Feam_evalharness.Scengen.build ~seed:42 ~index:0 ()) )
 
 let bench_agree_pipeline =
-  Test.make ~name:"agree/full-pipeline"
-    (Staged.stage (fun () ->
-         ignore
-           (Feam_agree.Harness.run_one
-              (Feam_evalharness.Scengen.build ~seed:42 ~index:0 ()))))
+  ( "agree/full-pipeline",
+    fun () ->
+      ignore
+        (Feam_agree.Harness.run_one
+           (Feam_evalharness.Scengen.build ~seed:42 ~index:0 ())) )
 
 let all_benches =
   [
@@ -304,15 +303,18 @@ let all_benches =
     bench_depot_plan; bench_agree_scengen; bench_agree_pipeline;
   ]
 
-(* Machine-readable results, derived from the observability layer's
-   histogram type: every OLS estimate is observed into the
-   bench.ns_per_run{bench=...} histogram, then the registry is read back
-   into BENCH_feam.json at the repo root — headline timings for the
-   pipeline stages plus the full per-bench histogram summaries.  When a
-   previous BENCH_feam.json exists, a one-line geometric-mean comparison
-   against it is printed before it is overwritten. *)
+(* -- Machine-readable results ------------------------------------------------ *)
+
+(* Every timed sample is observed into the bench.ns_per_run{bench=...}
+   histogram, then the registry is read back into BENCH_feam.json at the
+   repo root — headline timings for the pipeline stages plus the full
+   per-bench histogram summaries.  When a previous BENCH_feam.json
+   exists, a one-line geometric-mean comparison against it is printed
+   before it is overwritten, and each run's means are appended to
+   BENCH_history.jsonl for `feam bench report`. *)
 let bench_metric = "bench.ns_per_run"
 let bench_file = "BENCH_feam.json"
+let history_file = "BENCH_history.jsonl"
 
 (* The headline entries: the per-stage costs a reader checks first. *)
 let headline_benches =
@@ -331,57 +333,69 @@ let mean_of name =
   Option.map Feam_obs.Metrics.hist_mean
     (Feam_obs.Metrics.histogram_value bench_metric ~labels:[ ("bench", name) ])
 
-(* ns_per_op of every bench recorded in a previous BENCH_feam.json. *)
+(* ns_per_op of every bench recorded in a previous BENCH_feam.json.
+   [None] when there is no usable baseline — file absent, unparsable, or
+   a different schema — so the comparison line can say "no baseline"
+   instead of inventing a ratio. *)
 let previous_means () =
-  if not (Sys.file_exists bench_file) then []
+  if not (Sys.file_exists bench_file) then None
   else
     let text = In_channel.with_open_text bench_file In_channel.input_all in
     match Feam_util.Json.parse text with
-    | Error _ -> []
-    | Ok json ->
-      let benches =
-        Option.value ~default:[]
-          (Option.bind
-             (Feam_util.Json.member "benches" json)
-             Feam_util.Json.to_list_opt)
-      in
-      List.filter_map
-        (fun b ->
-          match
-            ( Option.bind
-                (Feam_util.Json.member "name" b)
-                Feam_util.Json.to_string_opt,
-              Feam_util.Json.member "ns_per_op" b )
-          with
-          | Some name, Some (Feam_util.Json.Float ns) -> Some (name, ns)
-          | Some name, Some (Feam_util.Json.Int ns) ->
-            Some (name, float_of_int ns)
-          | _ -> None)
-        benches
+    | Error _ -> None
+    | Ok json -> (
+      match
+        ( Option.bind (Feam_util.Json.member "schema" json)
+            Feam_util.Json.to_int_opt,
+          Option.bind (Feam_util.Json.member "benches" json)
+            Feam_util.Json.to_list_opt )
+      with
+      | Some 1, Some benches ->
+        Some
+          (List.filter_map
+             (fun b ->
+               match
+                 ( Option.bind
+                     (Feam_util.Json.member "name" b)
+                     Feam_util.Json.to_string_opt,
+                   Feam_util.Json.member "ns_per_op" b )
+               with
+               | Some name, Some (Feam_util.Json.Float ns) -> Some (name, ns)
+               | Some name, Some (Feam_util.Json.Int ns) ->
+                 Some (name, float_of_int ns)
+               | _ -> None)
+             benches)
+      | _ -> None)
 
-(* One line: geometric-mean new/old ratio over the benches both runs share. *)
+(* One line: geometric-mean new/old ratio over the benches both runs
+   share — or an explicit no-baseline notice on the first run. *)
 let compare_with_previous previous names =
-  let ratios =
-    List.filter_map
-      (fun name ->
-        match (mean_of name, List.assoc_opt name previous) with
-        | Some now, Some before when before > 0.0 && now > 0.0 ->
-          Some (now /. before)
-        | _ -> None)
-      names
-  in
-  match ratios with
-  | [] -> ()
-  | _ ->
-    let n = List.length ratios in
-    let gmean =
-      exp (List.fold_left (fun acc r -> acc +. log r) 0.0 ratios /. float_of_int n)
+  match previous with
+  | None ->
+    Fmt.pr "vs previous %s: no baseline (first run, or schema mismatch)@."
+      bench_file
+  | Some previous -> (
+    let ratios =
+      List.filter_map
+        (fun name ->
+          match (mean_of name, List.assoc_opt name previous) with
+          | Some now, Some before when before > 0.0 && now > 0.0 ->
+            Some (now /. before)
+          | _ -> None)
+        names
     in
-    Fmt.pr "vs previous %s: %.2fx geometric-mean time over %d shared benches (%s)@."
-      bench_file gmean n
-      (if gmean > 1.02 then "slower"
-       else if gmean < 0.98 then "faster"
-       else "unchanged")
+    match ratios with
+    | [] -> Fmt.pr "vs previous %s: no shared benches to compare@." bench_file
+    | _ ->
+      let n = List.length ratios in
+      let gmean =
+        exp (List.fold_left (fun acc r -> acc +. log r) 0.0 ratios /. float_of_int n)
+      in
+      Fmt.pr "vs previous %s: %.2fx geometric-mean time over %d shared benches (%s)@."
+        bench_file gmean n
+        (if gmean > 1.02 then "slower"
+         else if gmean < 0.98 then "faster"
+         else "unchanged"))
 
 let write_bench_json names =
   let open Feam_util.Json in
@@ -426,29 +440,95 @@ let write_bench_json names =
   compare_with_previous previous names;
   Fmt.pr "machine-readable results written to %s@." bench_file
 
-let run_benches () =
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+(* Append this run to the bench trajectory: one timestamp-free JSONL
+   record, sequence numbers strictly increasing down the file.  A
+   corrupt history is reported and superseded (fresh file at run 1)
+   rather than fatal.  Returns the full trajectory including this run,
+   for the inline trend report. *)
+let append_history names =
+  let benches =
+    List.filter_map (fun n -> Option.map (fun m -> (n, m)) (mean_of n)) names
   in
-  Fmt.pr "## Bechamel microbenchmarks (one per table/figure)@.@.";
-  let names = ref [] in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let results = Analyze.all ols Instance.monotonic_clock results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] ->
-            Fmt.pr "  %-36s %14.1f ns/run@." name est;
-            Feam_obs.Metrics.observe ~labels:[ ("bench", name) ] bench_metric est;
-            names := name :: !names
-          | _ -> Fmt.pr "  %-36s (no estimate)@." name)
-        results)
-    all_benches;
-  write_bench_json (List.rev !names);
+  let previous_runs =
+    if not (Sys.file_exists history_file) then Ok []
+    else
+      Feam_obs.Benchtrend.parse_history
+        (In_channel.with_open_text history_file In_channel.input_all)
+  in
+  match previous_runs with
+  | Ok runs ->
+    let seq =
+      match List.rev runs with
+      | [] -> 1
+      | last :: _ -> last.Feam_obs.Benchtrend.seq + 1
+    in
+    let run = { Feam_obs.Benchtrend.seq; benches } in
+    Out_channel.with_open_gen
+      [ Open_wronly; Open_append; Open_creat; Open_text ]
+      0o644 history_file
+      (fun oc ->
+        Out_channel.output_string oc
+          (Feam_obs.Benchtrend.render_history [ run ]));
+    Fmt.pr "bench trajectory: run %d appended to %s@." seq history_file;
+    runs @ [ run ]
+  | Error e ->
+    Fmt.epr "warning: %s: %s - starting a fresh history@." history_file e;
+    let run = { Feam_obs.Benchtrend.seq = 1; benches } in
+    Out_channel.with_open_text history_file (fun oc ->
+        Out_channel.output_string oc
+          (Feam_obs.Benchtrend.render_history [ run ]));
+    [ run ]
+
+(* -- Measurement harness ----------------------------------------------------- *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let samples_per_bench = 8
+let warmup_min_runs = 3
+let warmup_min_ns = 2e6
+let sample_target_ns = 4e6
+let max_batch = 10_000
+
+(* Warm the bench up (fills caches, forces lazy fixtures), estimate its
+   per-run cost, then take [samples_per_bench] timed samples of a batch
+   sized to ~[sample_target_ns] each.  Every sample's ns/run lands in
+   the bench histogram, so BENCH_feam.json's bucket counts describe a
+   real distribution instead of a single point. *)
+let measure (name, f) =
+  let t0 = now_ns () in
+  let rec warm runs =
+    f ();
+    let elapsed = now_ns () -. t0 in
+    if runs < warmup_min_runs || elapsed < warmup_min_ns then warm (runs + 1)
+    else (runs, elapsed)
+  in
+  let runs, elapsed = warm 1 in
+  let est = Float.max 1.0 (elapsed /. float_of_int runs) in
+  let batch = max 1 (min max_batch (int_of_float (sample_target_ns /. est))) in
+  for _ = 1 to samples_per_bench do
+    let s0 = now_ns () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    let per_run = (now_ns () -. s0) /. float_of_int batch in
+    Feam_obs.Metrics.observe ~labels:[ ("bench", name) ] bench_metric per_run
+  done;
+  (match mean_of name with
+  | Some mean ->
+    Fmt.pr "  %-36s %14.1f ns/run (%d samples x %d runs)@." name mean
+      samples_per_bench batch
+  | None -> Fmt.pr "  %-36s (no samples)@." name);
+  name
+
+let run_benches () =
+  Fmt.pr "## Microbenchmarks (one per table/figure; warmup + %d timed samples)@.@."
+    samples_per_bench;
+  let names = List.map measure all_benches in
+  write_bench_json names;
+  let trajectory = append_history names in
+  (* The inline (non-gating) trend report `feam bench report` also
+     prints from the same history. *)
+  print_string (Feam_obs.Benchtrend.render (Feam_obs.Benchtrend.evaluate trajectory));
   Fmt.pr "@."
 
 (* -- Artifact regeneration ----------------------------------------------------- *)

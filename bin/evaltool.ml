@@ -169,6 +169,34 @@ let run_depot seed dir =
     | Some name -> ", plan journal " ^ name
     | None -> "")
 
+(* --costs: run the full migration matrix under the cost ledger and
+   print the observatory's rollups — cost per stage, per determinant,
+   the top-K most expensive cells, and the cache-efficiency table.
+   The ledger's cost unit is allocated words (deterministic across
+   identical runs); its clock defaults to fixed, so the ns columns stay
+   zero and the whole report is byte-stable — the CI costs job diffs
+   two runs.  --costs-wall swaps in the wall clock for a live profile
+   at the price of determinism. *)
+let run_costs seed top wall =
+  let params = { Params.default with Params.seed } in
+  Fmt.pr "Provisioning the five Table II sites...@.";
+  let sites = Sites.build_all params in
+  Fmt.pr "Compiling benchmark corpus (NPB 2.4 + SPEC MPI2007)...@.";
+  let benchmarks = Feam_suites.Npb.all @ Feam_suites.Specmpi.all in
+  let binaries = Testset.build params sites benchmarks in
+  Fmt.pr "Running the migration matrix under the cost ledger...@.@.";
+  let clock =
+    if wall then Feam_obs.Clock.wall else Feam_obs.Clock.fixed ()
+  in
+  let ledger = Feam_obs.Ledger.create ~clock () in
+  Feam_obs.Ledger.install ledger;
+  let migrations =
+    Fun.protect ~finally:Feam_obs.Ledger.uninstall (fun () ->
+        Migrate.run_all params sites binaries)
+  in
+  Fmt.pr "migrations executed: %d@.@." (List.length migrations);
+  print_string (Feam_obs.Ledger.render ~top ledger)
+
 let run_sweep n_seeds =
   let aggregates =
     Sweep.run ~on_progress:(fun seed -> Fmt.pr "  seed %d done@." seed) n_seeds
@@ -265,11 +293,12 @@ let trace_out =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write the trace to FILE instead of the terminal.")
 
-let run seed verbose sweep_n ablation whatif journal_dir depot_dir trace
-    trace_out =
+let run seed verbose sweep_n ablation whatif journal_dir depot_dir costs
+    costs_top costs_wall trace trace_out =
   setup_obs trace trace_out;
   (if ablation then run_ablation seed
    else if whatif then run_whatif seed
+   else if costs then run_costs seed costs_top costs_wall
    else
      match (depot_dir, journal_dir, sweep_n) with
      | Some dir, _, _ -> run_depot seed dir
@@ -311,11 +340,33 @@ let depot_dir =
               listing, every cell's plan, the summary, and one replayable \
               plan journal.")
 
+let costs =
+  Arg.(
+    value & flag
+    & info [ "costs" ]
+        ~doc:"Instead of the evaluation tables, run the migration matrix \
+              under the cost ledger and print per-stage, per-determinant \
+              and per-cell cost attribution plus cache efficiency.  Cost \
+              is allocated words, so the report is byte-deterministic.")
+
+let costs_top =
+  Arg.(
+    value & opt int 15
+    & info [ "costs-top" ] ~docv:"K"
+        ~doc:"How many of the most expensive cells --costs lists.")
+
+let costs_wall =
+  Arg.(
+    value & flag
+    & info [ "costs-wall" ]
+        ~doc:"Attribute wall-clock nanoseconds in --costs instead of the \
+              deterministic fixed clock (output varies run to run).")
+
 let cmd =
   Cmd.v
     (Cmd.info "evaltool" ~doc:"Regenerate the FEAM paper's evaluation tables")
     Term.(
       const run $ seed $ verbose $ sweep $ ablation $ whatif $ journal_dir
-      $ depot_dir $ trace $ trace_out)
+      $ depot_dir $ costs $ costs_top $ costs_wall $ trace $ trace_out)
 
 let () = exit (Cmd.eval cmd)

@@ -171,6 +171,15 @@ let trace_out_arg =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write the trace to FILE instead of the terminal.")
 
+let trace_alloc_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-alloc" ]
+        ~doc:"Record allocation accounting on every span: alloc_minor_w \
+              and alloc_major_w attributes carry the words the span's \
+              body allocated on each heap (Gc counters bracketing the \
+              span).")
+
 let journal_arg =
   Arg.(
     value
@@ -186,7 +195,10 @@ let journal_arg =
    at_exit so output survives early `exit 1` / `exit 2` paths
    (e.g. `feam lint --fail-on`); the normal end-of-command flush does
    not double-write. *)
-let setup_obs ?(journal = None) trace trace_out =
+let setup_obs ?(journal = None) ?(alloc = false) trace trace_out =
+  (* Allocation accounting rides the trace: when requested, every span
+     also reports the minor/major words its body allocated. *)
+  if alloc then Feam_obs.Trace.set_record_alloc true;
   (match trace with
   | None -> ()
   | Some format ->
@@ -421,10 +433,10 @@ let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
   in
   (result, clock)
 
-let cmd_predict debug trace trace_out journal scenario_name from_site to_site
-    binary basic_only json lint symbols depot_dir =
+let cmd_predict debug trace trace_out trace_alloc journal scenario_name
+    from_site to_site binary basic_only json lint symbols depot_dir =
   setup_logs debug;
-  setup_obs ~journal trace trace_out;
+  setup_obs ~journal ~alloc:trace_alloc trace trace_out;
   let result, clock =
     run_predict_pipeline ~symbols ?depot_dir scenario_name from_site to_site
       binary basic_only lint
@@ -1275,9 +1287,10 @@ let predict_cmd =
     (Cmd.info "predict"
        ~doc:"Predict execution readiness of a binary at a target site")
     Term.(
-      const cmd_predict $ debug_arg $ trace_arg $ trace_out_arg $ journal_arg
-      $ scenario_arg $ from_arg $ to_arg $ binary_arg $ basic_arg $ json_arg
-      $ predict_lint_arg $ predict_symbols_arg $ predict_depot_arg)
+      const cmd_predict $ debug_arg $ trace_arg $ trace_out_arg
+      $ trace_alloc_arg $ journal_arg $ scenario_arg $ from_arg $ to_arg
+      $ binary_arg $ basic_arg $ json_arg $ predict_lint_arg
+      $ predict_symbols_arg $ predict_depot_arg)
 
 let metrics_cmd =
   Cmd.v
@@ -1615,13 +1628,168 @@ let depot_cmd =
     [ depot_add_cmd; depot_ls_cmd; depot_gc_cmd; depot_plan_cmd;
       depot_export_cmd ]
 
+(* -- Cost observatory: `feam stats` / `feam bench ...` ------------------------ *)
+
+(* Run the prediction pipeline in-process (like `feam metrics`) and
+   expose the registry it populated in a machine-readable exposition
+   format.  Under the default fixed clock the output is
+   byte-deterministic — two identical runs produce identical bytes,
+   which the CI costs job checks with cmp.  Prof timers are enabled so
+   labeled duration/allocation histograms surface alongside the
+   pipeline's own counters. *)
+let cmd_stats debug scenario_name from_site to_site binary basic_only lint
+    format out =
+  setup_logs debug;
+  Feam_obs.Prof.set_enabled true;
+  let result, _clock =
+    run_predict_pipeline ~announce_source:false scenario_name from_site to_site
+      binary basic_only lint
+  in
+  (match result with
+  | Ok _ -> ()
+  | Error e ->
+    Fmt.epr "prediction failed: %s@." e;
+    exit 1);
+  Feam_obs.Cachestat.set_gauges ();
+  let text =
+    match format with
+    | `Prom -> Feam_obs.Expo.render_prom ()
+    | `Json -> Feam_obs.Expo.render_jsonl ()
+    | `Text -> Feam_obs.Metrics.render_text ()
+  in
+  write_text out text
+
+let stats_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("prom", `Prom); ("json", `Json); ("text", `Text) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: 'prom' (Prometheus text exposition), 'json' \
+              (one JSON record per metric, JSONL), or 'text' (the metrics \
+              table).")
+
+let stats_out_arg =
+  Arg.(
+    value & opt string "-"
+    & info [ "out"; "o" ] ~docv:"FILE"
+        ~doc:"Write the snapshot to FILE instead of stdout.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run the prediction pipeline and expose its metrics registry \
+             in a machine-readable format: Prometheus text exposition or \
+             a byte-deterministic JSONL snapshot — the surface a resident \
+             serve daemon will mount.")
+    Term.(
+      const cmd_stats $ debug_arg $ scenario_arg $ from_arg $ to_arg
+      $ binary_arg $ basic_arg $ predict_lint_arg $ stats_format_arg
+      $ stats_out_arg)
+
+(* The perf-regression sentinel over BENCH_history.jsonl (appended by
+   the bench suite, one record per run, no timestamps). *)
+let cmd_bench_report debug history window threshold =
+  setup_logs debug;
+  if not (Sys.file_exists history) then begin
+    (* Absence is the first-run case, not an error: CI runs this before
+       any history has accumulated. *)
+    Fmt.pr "bench report: no runs recorded (%s missing)@." history;
+    exit 0
+  end;
+  match Feam_obs.Benchtrend.parse_history (read_text history) with
+  | Error e ->
+    Fmt.epr "%s: %s@." history e;
+    exit 2
+  | Ok runs ->
+    let outcome = Feam_obs.Benchtrend.evaluate ~window ~threshold runs in
+    print_string (Feam_obs.Benchtrend.render outcome);
+    Feam_obs.flush ();
+    exit (Feam_obs.Benchtrend.exit_code outcome)
+
+let cmd_bench_validate debug bench_file history_file =
+  setup_logs debug;
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (if not (Sys.file_exists bench_file) then
+     problem "%s: missing" bench_file
+   else
+     match Json.parse (read_text bench_file) with
+     | Error e -> problem "%s: %s" bench_file e
+     | Ok json -> (
+       match Feam_obs.Benchtrend.validate_bench_json json with
+       | Ok n -> Fmt.pr "%s: ok (%d benches)@." bench_file n
+       | Error errs ->
+         List.iter (fun e -> problem "%s: %s" bench_file e) errs));
+  (if not (Sys.file_exists history_file) then
+     problem "%s: missing" history_file
+   else
+     match Feam_obs.Benchtrend.parse_history (read_text history_file) with
+     | Error e -> problem "%s: %s" history_file e
+     | Ok runs -> Fmt.pr "%s: ok (%d runs)@." history_file (List.length runs));
+  match List.rev !problems with
+  | [] -> ()
+  | problems ->
+    List.iter (fun p -> Fmt.epr "%s@." p) problems;
+    exit 1
+
+let bench_history_arg =
+  Arg.(
+    value & opt string "BENCH_history.jsonl"
+    & info [ "history" ] ~docv:"FILE"
+        ~doc:"The bench-history JSONL file (one record per bench run).")
+
+let bench_file_arg =
+  Arg.(
+    value & opt string "BENCH_feam.json"
+    & info [ "bench-file" ] ~docv:"FILE"
+        ~doc:"The bench snapshot the bench suite wrote.")
+
+let bench_window_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "window" ] ~docv:"N"
+        ~doc:"Baseline: the geometric mean of up to N runs before the \
+              latest.")
+
+let bench_threshold_arg =
+  Arg.(
+    value & opt float 1.30
+    & info [ "threshold" ] ~docv:"RATIO"
+        ~doc:"Flag a bench as regressed when latest/baseline exceeds \
+              RATIO.")
+
+let bench_report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Compare the latest bench run against the rolling baseline and \
+             exit 1 when any bench regressed past the threshold.")
+    Term.(
+      const cmd_bench_report $ debug_arg $ bench_history_arg
+      $ bench_window_arg $ bench_threshold_arg)
+
+let bench_validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Validate BENCH_feam.json and BENCH_history.jsonl against \
+             their schemas; exit 1 listing every problem found.")
+    Term.(
+      const cmd_bench_validate $ debug_arg $ bench_file_arg
+      $ bench_history_arg)
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"The perf-regression sentinel: schema validation and \
+             run-over-run trend reports for the bench suite's artifacts.")
+    [ bench_report_cmd; bench_validate_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "feam" ~version:"1.0.0"
        ~doc:"Framework for Efficient Application Migration (simulated sites)")
     [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; metrics_cmd;
-      lint_cmd; symcheck_cmd; agree_cmd; replay_cmd; diff_cmd;
-      config_check_cmd; bundle_cmd; inspect_bundle_cmd; depot_cmd;
+      stats_cmd; bench_cmd; lint_cmd; symcheck_cmd; agree_cmd; replay_cmd;
+      diff_cmd; config_check_cmd; bundle_cmd; inspect_bundle_cmd; depot_cmd;
       advise_cmd; rank_cmd; scenario_template_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -119,6 +119,8 @@ let describe_memo : (string * string, Description.t) Hashtbl.t option ref =
 let set_describe_memo () = describe_memo := Some (Hashtbl.create 256)
 let clear_describe_memo () = describe_memo := None
 
+(* Returns the memo key plus the image size, so a hit can credit the
+   bytes the cache avoided re-reading to the cache telemetry. *)
 let memo_key_of site path =
   match !describe_memo with
   | None -> None
@@ -126,12 +128,15 @@ let memo_key_of site path =
     match Vfs.find (Site.vfs site) path with
     | Some { Vfs.kind = Vfs.Elf bytes; _ } ->
       Some
-        ( Site.name site,
-          Feam_depot.Chash.to_hex (Feam_depot.Chash.of_bytes bytes) )
+        ( ( Site.name site,
+            Feam_depot.Chash.to_hex (Feam_depot.Chash.of_bytes bytes) ),
+          String.length bytes )
     | _ -> None)
 
 (* [describe ?clock site env ~path] — full description with fallbacks. *)
 let describe ?clock site env ~path =
+  Feam_obs.Ledger.with_stage "bdc.describe" @@ fun () ->
+  Feam_obs.Prof.with_timer "bdc.describe" @@ fun () ->
   Feam_obs.Trace.with_span "bdc.describe"
     ~attrs:[ ("path", Feam_obs.Span.Str path) ]
   @@ fun () ->
@@ -152,12 +157,16 @@ let describe ?clock site env ~path =
   let memo_key = memo_key_of site path in
   let cached =
     match (memo_key, !describe_memo) with
-    | Some key, Some tbl -> Hashtbl.find_opt tbl key
+    | Some (key, _), Some tbl -> Hashtbl.find_opt tbl key
     | _ -> None
   in
   match cached with
   | Some d ->
     Feam_obs.Metrics.incr "bdc.describe_cache.hit";
+    (match memo_key with
+    | Some (_, size) ->
+      Feam_obs.Metrics.incr ~by:size "bdc.describe_cache.saved_bytes"
+    | None -> ());
     let d = { d with Description.path } in
     journal_describe "cache" d;
     Ok d
@@ -168,7 +177,7 @@ let describe ?clock site env ~path =
       Feam_obs.Metrics.incr "bdc.describe" ~labels:[ ("method", "objdump") ];
       journal_describe "objdump" d;
       (match (memo_key, !describe_memo) with
-      | Some key, Some tbl -> Hashtbl.replace tbl key d
+      | Some (key, _), Some tbl -> Hashtbl.replace tbl key d
       | _ -> ());
       Ok d
     | Error _ ->

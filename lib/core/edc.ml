@@ -157,6 +157,9 @@ let discover ?clock ~env_type site env =
   let env_label =
     match env_type with `Guaranteed -> "guaranteed" | `Target -> "target"
   in
+  Feam_obs.Ledger.with_stage "edc.discover" @@ fun () ->
+  Feam_obs.Prof.with_timer ~labels:[ ("env", env_label) ] "edc.discover"
+  @@ fun () ->
   Feam_obs.Trace.with_span "edc.discover"
     ~attrs:
       [

@@ -17,6 +17,7 @@ let staging_binary_dir = "/tmp/feam/binary"
 (* -- Source phase --------------------------------------------------------- *)
 
 let source_phase ?clock _config site env ~binary_path =
+  Feam_obs.Ledger.with_stage "phases.source" @@ fun () ->
   Feam_obs.Trace.with_span "phases.source"
     ~attrs:
       [
@@ -144,6 +145,7 @@ let source_phase ?clock _config site env ~binary_path =
    bundle carrying the binary bytes, the binary is materialized at the
    target automatically. *)
 let target_phase ?clock ?depot config site env ?bundle ?binary_path () =
+  Feam_obs.Ledger.with_stage "phases.target" @@ fun () ->
   Feam_obs.Trace.with_span "phases.target"
     ~attrs:
       [

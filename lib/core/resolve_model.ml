@@ -66,6 +66,7 @@ let present_at_target site env name =
    bundle's copies. *)
 let resolve ?clock ?depot config site env ~(bundle : Bundle.t) ~target_glibc
     ~binary_machine ~binary_class ~missing =
+  Feam_obs.Ledger.with_stage "resolve.resolve" @@ fun () ->
   Feam_obs.Trace.with_span "resolve.resolve"
     ~attrs:[ ("missing", Feam_obs.Span.Int (List.length missing)) ]
   @@ fun () ->

@@ -359,14 +359,17 @@ let evaluate_inner ?clock ?depot site env (input : input) : Predict.t =
   let decide_now ?stack ?libs () =
     decide ~config:input.config ~description:d ~discovery:disc ?stack ?libs ()
   in
-  let check name compatible f =
+  (* [determinant] names follow the journal's decision records, so the
+     cost ledger and the flight recorder agree on vocabulary. *)
+  let check name determinant compatible f =
+    Feam_obs.Ledger.with_determinant determinant @@ fun () ->
     Feam_obs.Trace.with_span name @@ fun () ->
     let r = f () in
     Feam_obs.Trace.set_attr "compatible" (Feam_obs.Span.Bool (compatible r));
     r
   in
   let isa =
-    check "predict.check.isa"
+    check "predict.check.isa" "isa"
       (fun c -> c.Predict.isa_compatible)
       (fun () ->
         let isa = isa_determinant d disc in
@@ -374,7 +377,7 @@ let evaluate_inner ?clock ?depot site env (input : input) : Predict.t =
         isa)
   in
   let clib =
-    check "predict.check.clib"
+    check "predict.check.clib" "glibc"
       (fun c -> c.Predict.clib_compatible)
       (fun () ->
         let clib = clib_determinant d disc in
@@ -386,6 +389,7 @@ let evaluate_inner ?clock ?depot site env (input : input) : Predict.t =
   else
     (* MPI stack determinant. *)
     let selection, stack_ev =
+      Feam_obs.Ledger.with_determinant "mpi_stack" @@ fun () ->
       Feam_obs.Trace.with_span "predict.check.stack" @@ fun () ->
       let candidates = candidate_stacks d disc in
       let requested_impl = requested_impl_of d in
@@ -411,6 +415,7 @@ let evaluate_inner ?clock ?depot site env (input : input) : Predict.t =
     else
       (* Shared-library determinant, under the chosen stack's session. *)
       let libs_ev =
+        Feam_obs.Ledger.with_determinant "shared_libraries" @@ fun () ->
         Feam_obs.Trace.with_span "predict.check.libs" @@ fun () ->
         let session_env =
           match selection with
@@ -458,6 +463,7 @@ let evaluate_inner ?clock ?depot site env (input : input) : Predict.t =
       decide_now ~stack:stack_ev ~libs:libs_ev ()
 
 let evaluate ?clock ?depot site env (input : input) : Predict.t =
+  Feam_obs.Ledger.with_stage "tec.evaluate" @@ fun () ->
   Feam_obs.Trace.with_span "tec.evaluate"
     ~attrs:
       [ ("binary", Feam_obs.Span.Str input.description.Description.path) ]

@@ -55,6 +55,10 @@ let compute ~site ~possessed wants =
   Feam_obs.Metrics.observe "depot.plan_bytes" (float_of_int shipped_bytes);
   Feam_obs.Metrics.incr ~by:plan.hits "depot.plan_hits";
   Feam_obs.Metrics.incr ~by:(List.length items) "depot.plan_misses";
+  (* Bytes possession saved: everything wanted but not shipped. *)
+  Feam_obs.Metrics.incr
+    ~by:(plan.wanted_bytes - shipped_bytes)
+    "depot.plan_saved_bytes";
   plan
 
 (* Bytes the legacy path would have shipped: every want in full,

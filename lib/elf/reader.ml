@@ -48,7 +48,17 @@ let index_sections sections =
     sections;
   tbl
 
-let section_by_name t name = Hashtbl.find_opt t.by_name name
+let section_by_name t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some s ->
+    Feam_obs.Metrics.incr "elf.section_memo.hit";
+    (* Each hit skips a linear scan over the section table; credit the
+       section's bytes as the traffic the memo avoided re-walking. *)
+    Feam_obs.Metrics.incr ~by:s.sh_size "elf.section_memo.saved_bytes";
+    Some s
+  | None ->
+    Feam_obs.Metrics.incr "elf.section_memo.miss";
+    None
 
 (* Split a NUL-separated blob into its strings, dropping empties. *)
 let split_nul blob =

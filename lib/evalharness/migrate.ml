@@ -80,6 +80,7 @@ let cleanup target =
   Vfs.remove_tree (Site.vfs target) migrated_dir
 
 let run_binary (params : Params.t) target env path =
+  Feam_obs.Ledger.with_stage "exec.ground_truth" @@ fun () ->
   Feam_dynlinker.Exec.run ~params:params.Params.exec
     ~attempts:params.Params.attempts target env ~binary_path:path
     ~mode:(Feam_dynlinker.Exec.Mpi 4)
@@ -89,6 +90,15 @@ let run_binary (params : Params.t) target env path =
    uses to strip probes or library copies. *)
 let migrate ?clock ?(bundle_filter = fun b -> b) (params : Params.t) binary
     target =
+  (* One matrix cell in the cost ledger, named binary->site like the
+     evaluation tables; the Prof timer sees the same work per target. *)
+  Feam_obs.Ledger.with_cell
+    (binary.Testset.id ^ "->" ^ Site.name target)
+  @@ fun () ->
+  Feam_obs.Prof.with_timer
+    ~labels:[ ("target", Site.name target) ]
+    "evalharness.migrate"
+  @@ fun () ->
   let config = Feam_core.Config.default in
   let base_env = Site.base_env target in
   cleanup target;

@@ -1,0 +1,102 @@
+(* Cache-efficiency telemetry, derived from the counter registry.
+
+   Every cache in the pipeline reports plain hit/miss counters under a
+   shared naming convention — `<cache>.hit`/`<cache>.miss` (or the
+   plural `_hits`/`_misses` the depot planner uses) with an optional
+   `saved_bytes` sibling for caches that avoid byte traffic.  This
+   module discovers those pairs generically, computes hit rates, sets
+   `cache.hit_rate{cache=...}` gauges for the exposition surfaces, and
+   renders the cache-saves table `evaltool --costs` prints.  New caches
+   join the observatory by naming their counters, not by editing this
+   file. *)
+
+type stat = {
+  cache : string;           (* base name, e.g. bdc.describe_cache *)
+  hits : int;
+  misses : int;
+  saved_bytes : int option; (* bytes the hits avoided moving/reading *)
+}
+
+(* (hit, miss, saved_bytes) suffix families recognized on unlabeled
+   counters. *)
+let families =
+  [
+    (".hit", ".miss", ".saved_bytes");
+    ("_hits", "_misses", "_saved_bytes");
+  ]
+
+let chop name suffix =
+  if String.length name > String.length suffix
+     && Filename.check_suffix name suffix
+  then Some (String.sub name 0 (String.length name - String.length suffix))
+  else None
+
+let all () =
+  let entries = Metrics.snapshot () in
+  let counter name =
+    List.find_map
+      (fun (k, e) ->
+        match e.Metrics.metric with
+        | Metrics.Counter c when k = name -> Some !c
+        | _ -> None)
+      entries
+  in
+  entries
+  |> List.filter_map (fun (k, (e : Metrics.entry)) ->
+         if e.labels <> [] then None
+         else
+           List.find_map
+             (fun (hit_suf, miss_suf, saved_suf) ->
+               match (chop k hit_suf, e.metric) with
+               | Some base, Metrics.Counter hits ->
+                 Some
+                   {
+                     cache = base;
+                     hits = !hits;
+                     misses =
+                       Option.value ~default:0 (counter (base ^ miss_suf));
+                     saved_bytes = counter (base ^ saved_suf);
+                   }
+               | _ -> None)
+             families)
+  |> List.sort (fun a b -> String.compare a.cache b.cache)
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+(* Publish a cache.hit_rate{cache=...} gauge per discovered cache, so
+   `feam stats` exposes rates and not just raw pairs. *)
+let set_gauges () =
+  List.iter
+    (fun s ->
+      Metrics.set_gauge ~labels:[ ("cache", s.cache) ] "cache.hit_rate"
+        (hit_rate s))
+    (all ())
+
+let table () =
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.cache;
+          string_of_int s.hits;
+          string_of_int s.misses;
+          Feam_util.Table.percent s.hits (s.hits + s.misses);
+          (match s.saved_bytes with
+          | Some n -> Printf.sprintf "%d B" n
+          | None -> "-");
+        ])
+      (all ())
+  in
+  Feam_util.Table.make ~title:"cache efficiency"
+    ~aligns:
+      [
+        Feam_util.Table.Left;
+        Feam_util.Table.Right;
+        Feam_util.Table.Right;
+        Feam_util.Table.Right;
+        Feam_util.Table.Right;
+      ]
+    ~header:[ "Cache"; "Hits"; "Misses"; "Hit rate"; "Saved" ]
+    rows

@@ -14,6 +14,11 @@ module Span = Span
 module Sink = Sink
 module Trace = Trace
 module Metrics = Metrics
+module Prof = Prof
+module Expo = Expo
+module Cachestat = Cachestat
+module Ledger = Ledger
+module Benchtrend = Benchtrend
 
 type trace_format = Pretty | Jsonl | Chrome
 
@@ -57,7 +62,10 @@ let flush () =
 (* Back to the pristine no-op state (tests). *)
 let reset () =
   Trace.disable ();
+  Trace.set_record_alloc false;
   Metrics.reset ();
+  Prof.reset ();
+  Ledger.uninstall ();
   hooks := []
 
 (* Simulated seconds, bucketed against the paper's five-minute phase

@@ -1,0 +1,272 @@
+(* The cost ledger: per-stage × per-determinant × per-cell cost
+   attribution over the migration matrix.
+
+   Spans tell you what one run did; the ledger answers the capacity
+   question behind ROADMAP items 1–2 — where do the ~1.5 ms/op of
+   both_phases actually go, per matrix cell and per determinant?  The
+   evaluation harness installs a ledger, brackets each matrix cell with
+   [with_cell], and the pipeline's stages/determinant checks charge
+   their cost into the ambient ledger.
+
+   Cost is two-dimensional: wall nanoseconds through the ledger's
+   injectable clock, and allocated words from the Gc counters.  The
+   words column is the deterministic one — identical runs allocate
+   identically — so `evaltool --costs` defaults to a fixed (zero)
+   clock and byte-stable output; pass a wall clock for a live profile.
+
+   Accounting is *self-cost*: a frame stack subtracts each child
+   measurement from its parent, so nested stages (describe inside a
+   source phase, determinant checks inside tec.evaluate) never double
+   count.  Totals are kept alongside for "inclusive" views.
+
+   When no ledger is installed every entry point is a single ref read —
+   the instrumentation stays free for ordinary predictions. *)
+
+type kind = Stage | Determinant
+
+type bucket = {
+  mutable calls : int;
+  mutable self_ns : int64;
+  mutable self_words : float;
+  mutable total_ns : int64;
+  mutable total_words : float;
+}
+
+type frame = { mutable child_ns : int64; mutable child_words : float }
+
+type t = {
+  clock : Clock.t;
+  entries : (string * kind * string, bucket) Hashtbl.t;
+  (* ^ keyed (cell, kind, name); cell "" = outside any cell *)
+  mutable cell : string;
+  mutable frames : frame list; (* innermost measurement first *)
+}
+
+let create ?(clock = Clock.fixed ()) () =
+  { clock; entries = Hashtbl.create 256; cell = ""; frames = [] }
+
+(* The ambient ledger.  Installation is explicit and scoped by the
+   harness; nothing else in the pipeline ever installs one. *)
+let current : t option ref = ref None
+
+let install t = current := Some t
+
+let uninstall () = current := None
+
+let bucket t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some b -> b
+  | None ->
+    let b =
+      { calls = 0; self_ns = 0L; self_words = 0.0;
+        total_ns = 0L; total_words = 0.0 }
+    in
+    Hashtbl.add t.entries key b;
+    b
+
+let measure t kind name f =
+  let fr = { child_ns = 0L; child_words = 0.0 } in
+  t.frames <- fr :: t.frames;
+  let t0 = t.clock () in
+  let w0 = Prof.allocated_words () in
+  Fun.protect f ~finally:(fun () ->
+      let total_ns = Int64.sub (t.clock ()) t0 in
+      let total_words = Prof.allocated_words () -. w0 in
+      (match t.frames with
+      | top :: rest when top == fr -> t.frames <- rest
+      | _ -> ());
+      (match t.frames with
+      | parent :: _ ->
+        parent.child_ns <- Int64.add parent.child_ns total_ns;
+        parent.child_words <- parent.child_words +. total_words
+      | [] -> ());
+      let b = bucket t (t.cell, kind, name) in
+      b.calls <- b.calls + 1;
+      b.total_ns <- Int64.add b.total_ns total_ns;
+      b.total_words <- b.total_words +. total_words;
+      b.self_ns <- Int64.add b.self_ns (Int64.sub total_ns fr.child_ns);
+      b.self_words <- b.self_words +. (total_words -. fr.child_words))
+
+(* -- the instrumentation points the pipeline calls -- *)
+
+let with_cell name f =
+  match !current with
+  | None -> f ()
+  | Some t ->
+    let prev = t.cell in
+    t.cell <- name;
+    Fun.protect f ~finally:(fun () -> t.cell <- prev)
+
+let with_stage name f =
+  match !current with None -> f () | Some t -> measure t Stage name f
+
+let with_determinant name f =
+  match !current with None -> f () | Some t -> measure t Determinant name f
+
+(* -- rollups -- *)
+
+(* Entries in stable order: aggregation then folds in a deterministic
+   sequence, so float sums are byte-reproducible across runs. *)
+let sorted_entries t =
+  Hashtbl.fold (fun k b acc -> (k, b) :: acc) t.entries []
+  |> List.sort (fun ((c1, k1, n1), _) ((c2, k2, n2), _) ->
+         match String.compare c1 c2 with
+         | 0 -> (
+           match compare k1 k2 with
+           | 0 -> String.compare n1 n2
+           | c -> c)
+         | c -> c)
+
+type rollup = {
+  r_name : string;
+  mutable r_calls : int;
+  mutable r_self_ns : int64;
+  mutable r_self_words : float;
+  mutable r_total_ns : int64;
+  mutable r_total_words : float;
+}
+
+(* Aggregate over cells, keeping only entries of [kind]; sorted by
+   self-words descending, name ascending on ties. *)
+let rollup_by_name t kind =
+  let table : (string, rollup) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun ((_, k, name), b) ->
+      if k = kind then begin
+        let r =
+          match Hashtbl.find_opt table name with
+          | Some r -> r
+          | None ->
+            let r =
+              { r_name = name; r_calls = 0; r_self_ns = 0L;
+                r_self_words = 0.0; r_total_ns = 0L; r_total_words = 0.0 }
+            in
+            Hashtbl.add table name r;
+            order := name :: !order;
+            r
+        in
+        r.r_calls <- r.r_calls + b.calls;
+        r.r_self_ns <- Int64.add r.r_self_ns b.self_ns;
+        r.r_self_words <- r.r_self_words +. b.self_words;
+        r.r_total_ns <- Int64.add r.r_total_ns b.total_ns;
+        r.r_total_words <- r.r_total_words +. b.total_words
+      end)
+    (sorted_entries t);
+  List.rev_map (Hashtbl.find table) !order
+  |> List.sort (fun a b ->
+         match compare b.r_self_words a.r_self_words with
+         | 0 -> String.compare a.r_name b.r_name
+         | c -> c)
+
+(* Distinct cell names (excluding work charged outside any cell). *)
+let cells t =
+  sorted_entries t
+  |> List.filter_map (fun ((c, _, _), _) -> if c = "" then None else Some c)
+  |> List.sort_uniq String.compare
+
+(* Per-cell totals: sum of self-cost over every entry charged to the
+   cell (stage self + determinant self = the cell's whole cost). *)
+let cell_cost t cell =
+  List.fold_left
+    (fun (words, ns) ((c, _, _), b) ->
+      if c = cell then (words +. b.self_words, Int64.add ns b.self_ns)
+      else (words, ns))
+    (0.0, 0L) (sorted_entries t)
+
+let determinant_names t =
+  sorted_entries t
+  |> List.filter_map (fun ((_, k, n), _) ->
+         if k = Determinant then Some n else None)
+  |> List.sort_uniq String.compare
+
+(* -- rendering -- *)
+
+let kwords w = Printf.sprintf "%.1f" (w /. 1e3)
+
+let ms ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e6)
+
+let right n = List.init n (fun _ -> Feam_util.Table.Right)
+
+let rollup_table ~title ~label rows =
+  Feam_util.Table.make ~title
+    ~aligns:(Feam_util.Table.Left :: right 5)
+    ~header:[ label; "Calls"; "Self kw"; "Self ms"; "Total kw"; "Total ms" ]
+    (List.map
+       (fun r ->
+         [
+           r.r_name;
+           string_of_int r.r_calls;
+           kwords r.r_self_words;
+           ms r.r_self_ns;
+           kwords r.r_total_words;
+           ms r.r_total_ns;
+         ])
+       rows)
+
+(* Top-K most expensive cells by self-words, with a per-determinant
+   cost column for each determinant the run exercised. *)
+let top_cells_table ?(top = 15) t =
+  let dets = determinant_names t in
+  let scored =
+    List.map (fun c -> (c, cell_cost t c)) (cells t)
+    |> List.sort (fun (c1, (w1, _)) (c2, (w2, _)) ->
+           match compare w2 w1 with
+           | 0 -> String.compare c1 c2
+           | c -> c)
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let rows =
+    List.map
+      (fun (cell, (words, ns)) ->
+        let det_cols =
+          List.map
+            (fun d ->
+              match Hashtbl.find_opt t.entries (cell, Determinant, d) with
+              | Some b -> kwords b.self_words
+              | None -> "-")
+            dets
+        in
+        (cell :: kwords words :: ms ns :: det_cols))
+      (take top scored)
+  in
+  Feam_util.Table.make
+    ~title:(Printf.sprintf "top %d cells by cost (self kwords)" top)
+    ~aligns:(Feam_util.Table.Left :: right (2 + List.length dets))
+    ~header:([ "Cell"; "Self kw"; "Self ms" ] @ List.map (fun d -> d ^ " kw") dets)
+    rows
+
+let render ?top t =
+  let entries = sorted_entries t in
+  let total_words =
+    List.fold_left (fun acc (_, b) -> acc +. b.self_words) 0.0 entries
+  in
+  let total_ns =
+    List.fold_left (fun acc (_, b) -> Int64.add acc b.self_ns) 0L entries
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "cost ledger: %d cells, %d entries, %.3f Mwords allocated, %s ms\n\n"
+       (List.length (cells t))
+       (List.length entries)
+       (total_words /. 1e6)
+       (ms total_ns));
+  Buffer.add_string b
+    (Feam_util.Table.render
+       (rollup_table ~title:"cost per stage" ~label:"Stage"
+          (rollup_by_name t Stage)));
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Feam_util.Table.render
+       (rollup_table ~title:"cost per determinant" ~label:"Determinant"
+          (rollup_by_name t Determinant)));
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Feam_util.Table.render (top_cells_table ?top t));
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Feam_util.Table.render (Cachestat.table ()));
+  Buffer.contents b

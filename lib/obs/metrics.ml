@@ -102,6 +102,11 @@ let counter_value ?(labels = []) name =
   | Some { metric = Counter c; _ } -> Some !c
   | _ -> None
 
+let gauge_value ?(labels = []) name =
+  match Hashtbl.find_opt registry (key name labels) with
+  | Some { metric = Gauge g; _ } -> Some !g
+  | _ -> None
+
 let histogram_value ?(labels = []) name =
   match Hashtbl.find_opt registry (key name labels) with
   | Some { metric = Histogram h; _ } -> Some h

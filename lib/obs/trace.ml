@@ -11,6 +11,7 @@ type state = {
   mutable clock : Clock.t;
   mutable next_id : int;
   mutable stack : Span.t list; (* innermost open span first *)
+  mutable record_alloc : bool; (* bracket spans with Gc counters *)
 }
 
 let st =
@@ -20,7 +21,17 @@ let st =
     clock = Clock.fixed ();
     next_id = 1;
     stack = [];
+    record_alloc = false;
   }
+
+(* Opt-in allocation accounting: when on, every completed span carries
+   alloc_minor_w/alloc_major_w attributes with the words its body
+   allocated on each heap.  Off by default — reading the Gc counters
+   per span is cheap but not free, and the extra attributes would churn
+   the golden traces. *)
+let set_record_alloc v = st.record_alloc <- v
+
+let record_alloc () = st.record_alloc
 
 let configure ?(clock = Clock.fixed ()) sink =
   st.enabled <- true;
@@ -83,11 +94,28 @@ let with_span ?attrs name f =
     in
     st.next_id <- st.next_id + 1;
     st.stack <- span :: st.stack;
+    (* Gc.minor_words (not the quick_stat field) reads the allocation
+       pointer, so short spans still see their minor allocations. *)
+    let alloc0 =
+      if st.record_alloc then Some (Gc.minor_words (), Gc.quick_stat ())
+      else None
+    in
     Fun.protect
       ~finally:(fun () ->
         (match st.stack with
         | s :: rest when s == span -> st.stack <- rest
         | _ -> ());
+        (match alloc0 with
+        | None -> ()
+        | Some (minor0, g0) ->
+          let g1 = Gc.quick_stat () in
+          (* Prepended while still reversed, so after the rev below
+             these land after the span's declared attributes. *)
+          span.Span.attrs <-
+            ("alloc_major_w",
+             Span.Float (g1.Gc.major_words -. g0.Gc.major_words))
+            :: ("alloc_minor_w", Span.Float (Gc.minor_words () -. minor0))
+            :: span.Span.attrs);
         span.Span.duration_ns <- Int64.sub (st.clock ()) span.Span.start_ns;
         span.Span.attrs <- List.rev span.Span.attrs;
         span.Span.events <- List.rev span.Span.events;

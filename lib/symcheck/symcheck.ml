@@ -104,6 +104,11 @@ let bind defs (s : Spec.dynsym) =
   let candidates =
     Option.value (Hashtbl.find_opt defs s.Spec.sym_name) ~default:[]
   in
+  (* Scope-table telemetry: a hit means the index answered the lookup
+     without rescanning the closure's symbol tables. *)
+  Feam_obs.Metrics.incr
+    (if candidates = [] then "symcheck.defs_lookup.miss"
+     else "symcheck.defs_lookup.hit");
   match s.Spec.sym_version with
   | None -> ( match candidates with [] -> None | c :: _ -> Some c)
   | Some v ->
