@@ -295,12 +295,45 @@ let bench_agree_pipeline =
         (Feam_agree.Harness.run_one
            (Feam_evalharness.Scengen.build ~seed:42 ~index:0 ())) )
 
+(* Fact-base extraction over the fixture bundle: cold (memo reset every
+   run, every object parsed) vs warm (first run fills the memo, the
+   rest hit).  The spread between the two is what the per-cell Context
+   construction saves fleet-wide. *)
+let factbase_payloads = lazy (Fixture.binary_bytes :: depot_payloads)
+
+let bench_factbase_cold =
+  ( "audit/factbase-cold",
+    fun () ->
+      Feam_analysis.Factbase.reset ();
+      List.iter
+        (fun bytes -> ignore (Feam_analysis.Factbase.facts_of_bytes bytes))
+        (Lazy.force factbase_payloads) )
+
+let bench_factbase_warm =
+  ( "audit/factbase-warm",
+    fun () ->
+      List.iter
+        (fun bytes -> ignore (Feam_analysis.Factbase.facts_of_bytes bytes))
+        (Lazy.force factbase_payloads) )
+
+(* Per-cell analysis context over the shared fact base — the unit of
+   work `feam lint` and every matrix cell's findings pay. *)
+let bench_audit_context =
+  ( "audit/context-of-bundle",
+    fun () ->
+      ignore
+        (Feam_analysis.Engine.run
+           (Feam_analysis.Context.of_bundle
+              ~target:(Feam_analysis.Context.target_of_site Fixture.target)
+              Fixture.bundle)) )
+
 let all_benches =
   [
     bench_table1; bench_table2; bench_table3_basic; bench_table3_extended;
     bench_table4; bench_fig1; bench_fig2; bench_fig3; bench_fig4;
     bench_timing; bench_elf; bench_depot_hash; bench_depot_store;
     bench_depot_plan; bench_agree_scengen; bench_agree_pipeline;
+    bench_factbase_cold; bench_factbase_warm; bench_audit_context;
   ]
 
 (* -- Machine-readable results ------------------------------------------------ *)
@@ -327,6 +360,7 @@ let headline_benches =
     ("both_phases", "fig2/both-phases");
     ("depot_plan_matrix", "depot/plan-matrix");
     ("agree_full_pipeline", "agree/full-pipeline");
+    ("audit_context", "audit/context-of-bundle");
   ]
 
 let mean_of name =

@@ -57,6 +57,14 @@ let run_eval seed verbose =
   Fmt.pr "@.";
   Feam_util.Table.print (Feam_agree.Harness.disagreement_table agree_runs);
   Fmt.pr "@.";
+  (* per-rule severity calibration: the same corpus, scored rule by
+     rule — a rule whose warnings never co-occur with an oracle failure
+     is demoted to info *)
+  Feam_util.Table.print (Feam_agree.Calibrate.table agree_runs);
+  (match Feam_agree.Calibrate.demotions agree_runs with
+  | [] -> Fmt.pr "calibration: every warning rule co-fires with failures@.@."
+  | demoted ->
+    Fmt.pr "calibration demotes to info: %s@.@." (String.concat ", " demoted));
   Feam_util.Table.print (Matrix.table (Matrix.build sites migrations));
   Fmt.pr "@.";
   Feam_util.Table.print (Effort.table migrations);
@@ -197,6 +205,17 @@ let run_costs seed top wall =
   Fmt.pr "migrations executed: %d@.@." (List.length migrations);
   print_string (Feam_obs.Ledger.render ~top ledger)
 
+(* --audit: run the fleet-tier static-analysis rules over the whole
+   simulated fleet and print the audit report.  Everything is a pure
+   function of the seed, so two runs must agree byte for byte (the CI
+   audit job diffs them). *)
+let run_audit seed =
+  let fleet =
+    Feam_evalharness.Audit.of_seed ~on_progress:(Fmt.pr "%s@.") ~seed ()
+  in
+  let findings = Feam_analysis.Engine.run_fleet fleet in
+  print_string (Feam_analysis.Engine.render_fleet_text fleet findings)
+
 let run_sweep n_seeds =
   let aggregates =
     Sweep.run ~on_progress:(fun seed -> Fmt.pr "  seed %d done@." seed) n_seeds
@@ -293,11 +312,12 @@ let trace_out =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write the trace to FILE instead of the terminal.")
 
-let run seed verbose sweep_n ablation whatif journal_dir depot_dir costs
-    costs_top costs_wall trace trace_out =
+let run seed verbose sweep_n ablation whatif audit journal_dir depot_dir
+    costs costs_top costs_wall trace trace_out =
   setup_obs trace trace_out;
   (if ablation then run_ablation seed
    else if whatif then run_whatif seed
+   else if audit then run_audit seed
    else if costs then run_costs seed costs_top costs_wall
    else
      match (depot_dir, journal_dir, sweep_n) with
@@ -318,6 +338,14 @@ let whatif =
     value & flag
     & info [ "whatif" ]
         ~doc:"Run the administrator what-if analysis: measure the migrations               unlocked by hypothetical installs at the Table II sites.")
+
+let audit =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:"Instead of the evaluation tables, run the fleet-tier \
+              static-analysis rules over the whole simulated fleet and \
+              print the audit report.  Byte-deterministic per seed.")
 
 let journal_dir =
   Arg.(
@@ -366,7 +394,8 @@ let cmd =
   Cmd.v
     (Cmd.info "evaltool" ~doc:"Regenerate the FEAM paper's evaluation tables")
     Term.(
-      const run $ seed $ verbose $ sweep $ ablation $ whatif $ journal_dir
-      $ depot_dir $ costs $ costs_top $ costs_wall $ trace $ trace_out)
+      const run $ seed $ verbose $ sweep $ ablation $ whatif $ audit
+      $ journal_dir $ depot_dir $ costs $ costs_top $ costs_wall $ trace
+      $ trace_out)
 
 let () = exit (Cmd.eval cmd)

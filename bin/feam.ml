@@ -333,7 +333,8 @@ let open_depot dir =
    content-addressed depot: objects already in the store are recognized
    (depot.hit) and the store is saved back when the run completes. *)
 let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
-    ?depot_dir scenario_name from_site to_site binary basic_only lint =
+    ?(lint_fleet = false) ?depot_dir scenario_name from_site to_site binary
+    basic_only lint =
   let scenario = load_scenario scenario_name in
   let home =
     require_site scenario
@@ -413,13 +414,15 @@ let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
       (* the static-analysis layer feeding predict: findings ride the
          report — the whole rule set under --lint, the symbol-closure
          subset under --symbols alone *)
-      match (lint || symbols, !linted_bundle) with
+      match (lint || symbols || lint_fleet, !linted_bundle) with
       | true, Some bundle ->
         let ctx =
           Feam_analysis.Context.of_bundle
             ~target:(Feam_analysis.Context.target_of_site target) bundle
         in
-        let rules = if lint then None else Some (symbol_rules ()) in
+        let rules =
+          if lint || lint_fleet then None else Some (symbol_rules ())
+        in
         let report =
           Feam_core.Report.with_findings report
             (Feam_analysis.Engine.run ?rules ctx)
@@ -428,6 +431,20 @@ let run_predict_pipeline ?(announce_source = true) ?(symbols = false)
            *last* report record (the one replay and diff read) carries
            them too *)
         Feam_core.Report.journal report;
+        (* --lint-fleet (feam stats): check the same bundle against every
+           other scenario site too.  The per-target contexts share one
+           spec parse per distinct object through the fact base, which
+           is what the elf.spec_memo cache stats measure. *)
+        if lint_fleet then
+          List.iter
+            (fun site ->
+              if Site.name site <> Site.name target then
+                ignore
+                  (Feam_analysis.Engine.run
+                     (Feam_analysis.Context.of_bundle
+                        ~target:(Feam_analysis.Context.target_of_site site)
+                        bundle)))
+            scenario.sites;
         Ok report
       | _ -> Ok report)
   in
@@ -537,7 +554,7 @@ let lint_target scenario_name target_site target_glibc =
   | None, None -> None
 
 let cmd_lint debug trace trace_out scenario_name site binary bundle_file
-    target_site target_glibc json list_rules fail_on =
+    target_site target_glibc json list_rules explain fail_on =
   setup_logs debug;
   setup_obs trace trace_out;
   if list_rules then begin
@@ -546,38 +563,114 @@ let cmd_lint debug trace trace_out scenario_name site binary bundle_file
         (fun r ->
           [
             r.Feam_analysis.Rule.id;
+            Feam_analysis.Rule.tier r;
             Feam_core.Diagnose.level_to_string r.Feam_analysis.Rule.default_level;
             r.Feam_analysis.Rule.title;
           ])
         (Feam_analysis.Registry.all ())
     in
     Table.print
-      (Table.make ~title:"feam lint rules" ~header:[ "Rule"; "Level"; "Checks" ] rows);
-    Printf.printf "%d rules registered\n" (Feam_analysis.Registry.count ());
+      (Table.make ~title:"feam lint rules"
+         ~header:[ "Rule"; "Tier"; "Level"; "Checks" ]
+         rows);
+    Printf.printf "%d rules registered (%d cell, %d fleet)\n"
+      (Feam_analysis.Registry.count ())
+      (List.length (Feam_analysis.Registry.cell_ids ()))
+      (List.length (Feam_analysis.Registry.fleet_ids ()));
     print_string
       "exit codes: 0 clean (info only), 1 warnings, 2 errors \
        (--fail-on warn|error|never tunes the gate)\n"
   end
+  else
+    match explain with
+    | Some rule_id -> (
+      (* Same contract as Engine.gate: an unknown id exits 2 naming the
+         valid set. *)
+      match Feam_analysis.Registry.find rule_id with
+      | Some r ->
+        Printf.printf "%s (%s rule, default level %s)\n  %s\n\n%s\n"
+          r.Feam_analysis.Rule.id
+          (Feam_analysis.Rule.tier r)
+          (Feam_core.Diagnose.level_to_string
+             r.Feam_analysis.Rule.default_level)
+          r.Feam_analysis.Rule.title r.Feam_analysis.Rule.explain
+      | None ->
+        Fmt.epr "feam lint: unknown rule %S (expected one of %s)@." rule_id
+          (String.concat ", " (Feam_analysis.Registry.ids ()));
+        Feam_obs.flush ();
+        exit 2)
+    | None ->
+      let bundle = lint_bundle scenario_name site binary bundle_file in
+      let target = lint_target scenario_name target_site target_glibc in
+      let ctx = Feam_analysis.Context.of_bundle ?target bundle in
+      let findings = Feam_analysis.Engine.run ctx in
+      if json then
+        print_endline (Json.render (Feam_analysis.Engine.to_json ctx findings))
+      else print_string (Feam_analysis.Engine.render_text ctx findings);
+      let gated =
+        match Feam_analysis.Engine.gate ~fail_on findings with
+        | Ok code -> code
+        | Error msg ->
+          Fmt.epr "feam lint: %s@." msg;
+          2
+      in
+      (* flush the trace sink before the gate's exit code short-circuits
+         normal teardown (at_exit re-flushing is an idempotent no-op) *)
+      Feam_obs.flush ();
+      exit gated
+
+(* -- Fleet-scale static analysis: `feam audit` -------------------------------- *)
+
+let cmd_audit debug trace trace_out seed json fail_on baseline_file
+    write_baseline =
+  setup_logs debug;
+  setup_obs trace trace_out;
+  let baseline =
+    match baseline_file with
+    | None -> Feam_analysis.Baseline.empty
+    | Some file -> (
+      let text = In_channel.with_open_text file In_channel.input_all in
+      match Feam_analysis.Baseline.parse text with
+      | Ok b -> b
+      | Error e ->
+        Fmt.epr "feam audit: cannot parse baseline %s: %s@." file e;
+        Feam_obs.flush ();
+        exit 2)
+  in
+  (* progress goes to stderr so stdout stays the deterministic report *)
+  let fleet =
+    Feam_evalharness.Audit.of_seed ~on_progress:(Fmt.epr "%s@.") ~seed ()
+  in
+  let findings = Feam_analysis.Engine.run_fleet fleet in
+  let fresh, suppressed = Feam_analysis.Baseline.apply baseline findings in
+  (match write_baseline with
+  | None -> ()
+  | Some file ->
+    Out_channel.with_open_text file (fun oc ->
+        Out_channel.output_string oc
+          (Feam_analysis.Baseline.render
+             (Feam_analysis.Baseline.of_findings findings)));
+    Fmt.epr "feam audit: wrote %d baseline entries to %s@."
+      (List.length findings) file);
+  if json then
+    print_endline
+      (Json.render (Feam_analysis.Engine.fleet_to_json fleet fresh))
   else begin
-    let bundle = lint_bundle scenario_name site binary bundle_file in
-    let target = lint_target scenario_name target_site target_glibc in
-    let ctx = Feam_analysis.Context.of_bundle ?target bundle in
-    let findings = Feam_analysis.Engine.run ctx in
-    if json then
-      print_endline (Json.render (Feam_analysis.Engine.to_json ctx findings))
-    else print_string (Feam_analysis.Engine.render_text ctx findings);
-    let gated =
-      match Feam_analysis.Engine.gate ~fail_on findings with
-      | Ok code -> code
-      | Error msg ->
-        Fmt.epr "feam lint: %s@." msg;
-        2
-    in
-    (* flush the trace sink before the gate's exit code short-circuits
-       normal teardown (at_exit re-flushing is an idempotent no-op) *)
-    Feam_obs.flush ();
-    exit gated
-  end
+    print_string (Feam_analysis.Engine.render_fleet_text fleet fresh);
+    if suppressed <> [] then
+      Printf.printf "%d finding(s) suppressed by the baseline\n"
+        (List.length suppressed)
+  end;
+  (* only findings absent from the baseline gate the exit code *)
+  let gated =
+    match Feam_analysis.Engine.gate ~fail_on fresh with
+    | Ok code -> code
+    | Error msg ->
+      Fmt.epr "feam audit: %s@." msg;
+      2
+  in
+  Feam_obs.flush ();
+  exit gated
 
 (* -- Symbol closure: `feam symcheck` ------------------------------------------ *)
 
@@ -1332,6 +1425,15 @@ let lint_list_rules_arg =
     value & flag
     & info [ "list-rules" ] ~doc:"List the registered rules and exit.")
 
+let lint_explain_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain" ] ~docv:"RULE"
+        ~doc:"Print the long-form description and fixit guidance for one \
+              rule id and exit.  An unknown rule exits 2 naming the valid \
+              set, matching the gate's contract.")
+
 (* A plain string, not Arg.enum: the gate itself (Engine.gate) owns
    validation, so an unknown level exits 2 with a usage message after
    the findings are still reported, instead of cmdliner's exit 124
@@ -1356,7 +1458,47 @@ let lint_cmd =
       const cmd_lint $ debug_arg $ trace_arg $ trace_out_arg $ scenario_arg
       $ site_arg $ binary_arg $ lint_bundle_arg $ lint_target_arg
       $ lint_target_glibc_arg $ json_arg $ lint_list_rules_arg
-      $ lint_fail_on_arg)
+      $ lint_explain_arg $ lint_fail_on_arg)
+
+let audit_seed_arg =
+  Arg.(
+    value
+    & opt int Feam_evalharness.Params.default.Feam_evalharness.Params.seed
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Master seed for the simulated fleet.  The Table II matrix is \
+              a pure function of the seed, so equal seeds yield \
+              byte-identical audit reports.")
+
+let audit_baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:"Suppress findings recorded in this baseline file: suppressed \
+              findings are reported as a count and never gate the exit \
+              code, so CI only fails on new findings.")
+
+let audit_write_baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "write-baseline" ] ~docv:"FILE"
+        ~doc:"Write every finding of this run (including currently \
+              suppressed ones) to $(docv) as a fresh baseline.")
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run the fleet-tier static-analysis rules over the whole \
+             simulated fleet: ABI skew of shared libraries across sites, \
+             binaries with no ready migration target, sites whose C \
+             library lags the fleet's demands, unreferenced depot objects, \
+             and MPI-stack partitions.  Exits 0 clean / 1 warnings / 2 \
+             errors, like lint.")
+    Term.(
+      const cmd_audit $ debug_arg $ trace_arg $ trace_out_arg
+      $ audit_seed_arg $ json_arg $ lint_fail_on_arg $ audit_baseline_arg
+      $ audit_write_baseline_arg)
 
 let symcheck_bind_log_arg =
   Arg.(
@@ -1642,8 +1784,8 @@ let cmd_stats debug scenario_name from_site to_site binary basic_only lint
   setup_logs debug;
   Feam_obs.Prof.set_enabled true;
   let result, _clock =
-    run_predict_pipeline ~announce_source:false scenario_name from_site to_site
-      binary basic_only lint
+    run_predict_pipeline ~announce_source:false ~lint_fleet:true scenario_name
+      from_site to_site binary basic_only lint
   in
   (match result with
   | Ok _ -> ()
@@ -1788,8 +1930,8 @@ let main =
     (Cmd.info "feam" ~version:"1.0.0"
        ~doc:"Framework for Efficient Application Migration (simulated sites)")
     [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; metrics_cmd;
-      stats_cmd; bench_cmd; lint_cmd; symcheck_cmd; agree_cmd; replay_cmd;
-      diff_cmd; config_check_cmd; bundle_cmd; inspect_bundle_cmd; depot_cmd;
-      advise_cmd; rank_cmd; scenario_template_cmd ]
+      stats_cmd; bench_cmd; lint_cmd; audit_cmd; symcheck_cmd; agree_cmd;
+      replay_cmd; diff_cmd; config_check_cmd; bundle_cmd; inspect_bundle_cmd;
+      depot_cmd; advise_cmd; rank_cmd; scenario_template_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -23,6 +23,7 @@ type run = {
   r_oracle : Verdict.t;
   r_failure : Feam_dynlinker.Exec.failure option;
   r_unsound : Verdict.predictor list;
+  r_findings : Feam_core.Diagnose.finding list;
 }
 
 let verdict_of r = function
@@ -136,7 +137,7 @@ let run_one (sc : Scengen.t) =
   in
   let findings = Feam_analysis.Engine.run ctx in
   let sym =
-    match Feam_elf.Reader.spec_of_bytes sc.sc_binary_bytes with
+    match Feam_analysis.Factbase.spec_of_bytes sc.sc_binary_bytes with
     | Error _ ->
       (* an unparsable binary binds nothing; symcheck has no scope *)
       Feam_symcheck.Symcheck.run []
@@ -179,7 +180,16 @@ let run_one (sc : Scengen.t) =
         [ Verdict.Tec; Verdict.Lint; Verdict.Symcheck ]
   in
   let r =
-    { r_scenario = sc; r_tec; r_lint; r_sym; r_oracle; r_failure; r_unsound }
+    {
+      r_scenario = sc;
+      r_tec;
+      r_lint;
+      r_sym;
+      r_oracle;
+      r_failure;
+      r_unsound;
+      r_findings = findings;
+    }
   in
   record_run r;
   r

@@ -17,6 +17,9 @@ type run = {
   r_unsound : Verdict.predictor list;
       (** predictors strictly ready although the oracle failed inside
           their claimed territory *)
+  r_findings : Feam_core.Diagnose.finding list;
+      (** the lint findings behind [r_lint], kept for per-rule severity
+          calibration *)
 }
 
 val verdict_of : run -> Verdict.predictor -> Verdict.t

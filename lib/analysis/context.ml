@@ -1,7 +1,10 @@
 (* One uniform view over a bundle for the lint rules.  Descriptions are
-   what the source phase *recorded*; specs are a fresh byte-level reparse
-   of every embedded image through Feam_elf.Reader — keeping the two
-   channels separate is what lets the staleness rule compare them. *)
+   what the source phase *recorded*; specs are a byte-level reparse of
+   every embedded image through the content-addressed fact base —
+   keeping the two channels separate is what lets the staleness rule
+   compare them.  The fact base keys by content hash, so the matrix's
+   thousands of sightings of the same few hundred distinct objects
+   parse once each (elf.spec_memo.{hit,miss} count the sharing). *)
 
 open Feam_util
 open Feam_core
@@ -44,10 +47,9 @@ let target_of_site site =
 
 let parse_bytes = function
   | None -> (None, None)
-  | Some bytes -> (
-    match Feam_elf.Reader.spec_of_bytes bytes with
-    | Ok spec -> (Some spec, None)
-    | Error e -> (None, Some (Feam_elf.Reader.error_to_string e)))
+  | Some bytes ->
+    let facts = Factbase.facts_of_bytes bytes in
+    (facts.Factbase.fb_spec, facts.Factbase.fb_parse_error)
 
 let make_objekt ~label ~origin ~kind ~description ~bytes ~declared_size =
   let spec, parse_error = parse_bytes bytes in

@@ -4,18 +4,45 @@ open Feam_core
 
 let run ?rules ctx =
   Feam_obs.Trace.with_span "lint.run" @@ fun () ->
-  let rules = match rules with Some r -> r | None -> Registry.all () in
+  let rules = match rules with Some r -> r | None -> Registry.cell_rules () in
   rules
   |> List.concat_map (fun r ->
          Feam_obs.Trace.with_span "lint.rule"
            ~attrs:[ ("rule", Feam_obs.Span.Str r.Rule.id) ]
          @@ fun () ->
-         let findings = r.Rule.check ctx in
+         let findings =
+           match r.Rule.check with
+           | Rule.Cell check -> check ctx
+           | Rule.Fleet _ -> []
+         in
          if findings <> [] then
            Feam_obs.Metrics.incr
              ~by:(List.length findings)
              ~labels:[ ("rule", r.Rule.id) ]
              "lint.findings";
+         Feam_obs.Trace.set_attr "findings"
+           (Feam_obs.Span.Int (List.length findings));
+         findings)
+  |> List.stable_sort Diagnose.compare_finding
+
+let run_fleet ?rules fleet =
+  Feam_obs.Trace.with_span "audit.run" @@ fun () ->
+  let rules = match rules with Some r -> r | None -> Registry.fleet_rules () in
+  rules
+  |> List.concat_map (fun r ->
+         Feam_obs.Trace.with_span "audit.rule"
+           ~attrs:[ ("rule", Feam_obs.Span.Str r.Rule.id) ]
+         @@ fun () ->
+         let findings =
+           match r.Rule.check with
+           | Rule.Fleet check -> check fleet
+           | Rule.Cell _ -> []
+         in
+         if findings <> [] then
+           Feam_obs.Metrics.incr
+             ~by:(List.length findings)
+             ~labels:[ ("rule", r.Rule.id) ]
+             "audit.findings";
          Feam_obs.Trace.set_attr "findings"
            (Feam_obs.Span.Int (List.length findings));
          findings)
@@ -79,10 +106,8 @@ let subject_line (ctx : Context.t) =
     (List.length bundle.Bundle.probes)
     target
 
-let render_text ctx findings =
-  let buf = Buffer.create 512 in
+let add_findings buf findings =
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  addf "feam lint: %s\n" (subject_line ctx);
   List.iter
     (fun (f : Diagnose.finding) ->
       addf "%-5s %-21s %s: %s\n"
@@ -91,9 +116,61 @@ let render_text ctx findings =
       match f.Diagnose.fixit with
       | Some fix -> addf "      fix: %s\n" fix
       | None -> ())
-    findings;
+    findings
+
+let render_text ctx findings =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "feam lint: %s\n" (subject_line ctx);
+  add_findings buf findings;
   addf "%s\n" (summary findings);
   Buffer.contents buf
+
+let fleet_line (fleet : Fleet.t) =
+  Printf.sprintf
+    "%d sites, %d binaries, %d library observations, %d cells, %d stored \
+     objects"
+    (List.length fleet.Fleet.sites)
+    (List.length fleet.Fleet.binaries)
+    (List.length fleet.Fleet.libraries)
+    (List.length fleet.Fleet.cells)
+    (List.length fleet.Fleet.store)
+
+let render_fleet_text fleet findings =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "feam audit: %s\n" (fleet_line fleet);
+  add_findings buf findings;
+  addf "%s\n" (summary findings);
+  Buffer.contents buf
+
+let fleet_to_json (fleet : Fleet.t) findings =
+  let open Feam_util.Json in
+  Obj
+    [
+      ( "fleet",
+        Obj
+          [
+            ( "sites",
+              List
+                (List.map
+                   (fun (s : Fleet.site) -> Str s.Fleet.site_name)
+                   fleet.Fleet.sites) );
+            ("binaries", Int (List.length fleet.Fleet.binaries));
+            ("libraries", Int (List.length fleet.Fleet.libraries));
+            ("cells", Int (List.length fleet.Fleet.cells));
+            ("store_objects", Int (List.length fleet.Fleet.store));
+          ] );
+      ("findings", List (List.map Report.finding_to_json findings));
+      ( "summary",
+        Obj
+          [
+            ("errors", Int (errors findings));
+            ("warnings", Int (warnings findings));
+            ("infos", Int (infos findings));
+            ("exit_code", Int (exit_code findings));
+          ] );
+    ]
 
 let to_json ctx findings =
   let open Feam_util.Json in

@@ -3,9 +3,16 @@
     stable order; text, JSON and exit-code views are all derived from
     the same list, so the CLI gate and the prediction pipeline agree. *)
 
-(** Run [rules] (default: every registered rule) over a context.
-    Findings are sorted severe-first, then by rule id and subject. *)
+(** Run [rules] (default: every registered cell rule) over a context.
+    Fleet rules in [rules] are skipped.  Findings are sorted
+    severe-first, then by rule id and subject. *)
 val run : ?rules:Rule.t list -> Context.t -> Feam_core.Diagnose.finding list
+
+(** Run [rules] (default: every registered fleet rule) over the fleet
+    view — the library face of [feam audit].  Cell rules in [rules] are
+    skipped.  Same ordering contract as {!run}. *)
+val run_fleet :
+  ?rules:Rule.t list -> Fleet.t -> Feam_core.Diagnose.finding list
 
 val errors : Feam_core.Diagnose.finding list -> int
 val warnings : Feam_core.Diagnose.finding list -> int
@@ -35,3 +42,14 @@ val render_text : Context.t -> Feam_core.Diagnose.finding list -> string
 
 (** Machine-readable lint report; parses back with {!Feam_util.Json}. *)
 val to_json : Context.t -> Feam_core.Diagnose.finding list -> Feam_util.Json.t
+
+(** One-line fleet inventory, the audit report's subject line. *)
+val fleet_line : Fleet.t -> string
+
+(** Human-readable audit report. *)
+val render_fleet_text :
+  Fleet.t -> Feam_core.Diagnose.finding list -> string
+
+(** Machine-readable audit report. *)
+val fleet_to_json :
+  Fleet.t -> Feam_core.Diagnose.finding list -> Feam_util.Json.t

@@ -1,0 +1,100 @@
+(* The content-addressed fact base.  Every ELF payload the analysis
+   layer touches — bundle roots, library copies, probes, depot objects —
+   is keyed by its Chash and parsed exactly once per process; every
+   later sighting of the same bytes recalls the interned facts.  The
+   memo is deliberately process-global (like Bdc's describe memo): the
+   803-cell matrix re-stages the same few hundred distinct objects
+   thousands of times, and content identity makes the sharing safe. *)
+
+open Feam_util
+
+type facts = {
+  fb_key : Feam_depot.Chash.t;
+  fb_size : int;
+  fb_spec : Feam_elf.Spec.t option;
+  fb_parse_error : string option;
+  fb_soname : string option;
+  fb_needed : string list;
+  fb_verneeds : Feam_elf.Spec.verneed list;
+  fb_machine : Feam_elf.Types.machine option;
+  fb_elf_class : Feam_elf.Types.elf_class option;
+  fb_interp : string option;
+  fb_exports : string list;
+  fb_glibc_floor : Version.t option;
+}
+
+(* The oldest glibc that can host the object: the newest GLIBC_x
+   version it binds from a C library.  Unparseable version strings
+   (GLIBC_PRIVATE and friends) are the glibc-verneed rule's business,
+   not a floor. *)
+let glibc_floor (spec : Feam_elf.Spec.t) =
+  spec.Feam_elf.Spec.verneeds
+  |> List.concat_map (fun vn ->
+         if Feam_core.Bdc.is_c_library vn.Feam_elf.Spec.vn_file then
+           List.filter_map Feam_toolchain.Glibc.version_of_symbol
+             vn.Feam_elf.Spec.vn_versions
+         else [])
+  |> function
+  | [] -> None
+  | v :: vs -> Some (List.fold_left Version.max v vs)
+
+let sorted_exports (spec : Feam_elf.Spec.t) =
+  Feam_elf.Spec.exports spec
+  |> List.map (fun d -> d.Feam_elf.Spec.sym_name)
+  |> List.sort_uniq String.compare
+
+let extract key bytes =
+  let spec, parse_error =
+    match Feam_elf.Reader.spec_of_bytes bytes with
+    | Ok spec -> (Some spec, None)
+    | Error e -> (None, Some (Feam_elf.Reader.error_to_string e))
+  in
+  let field f = Option.bind spec f in
+  {
+    fb_key = key;
+    fb_size = String.length bytes;
+    fb_spec = spec;
+    fb_parse_error = parse_error;
+    fb_soname = field (fun s -> s.Feam_elf.Spec.soname);
+    fb_needed =
+      (match spec with None -> [] | Some s -> s.Feam_elf.Spec.needed);
+    fb_verneeds =
+      (match spec with None -> [] | Some s -> s.Feam_elf.Spec.verneeds);
+    fb_machine = Option.map (fun s -> s.Feam_elf.Spec.machine) spec;
+    fb_elf_class = Option.map (fun s -> s.Feam_elf.Spec.elf_class) spec;
+    fb_interp = field (fun s -> s.Feam_elf.Spec.interp);
+    fb_exports = (match spec with None -> [] | Some s -> sorted_exports s);
+    fb_glibc_floor = field glibc_floor;
+  }
+
+module Tbl = Hashtbl.Make (struct
+  type t = Feam_depot.Chash.t
+
+  let equal = Feam_depot.Chash.equal
+  let hash k = Hashtbl.hash (Feam_depot.Chash.to_hex k)
+end)
+
+let table : facts Tbl.t = Tbl.create 256
+
+let facts_of_bytes bytes =
+  let key = Feam_depot.Chash.of_bytes bytes in
+  match Tbl.find_opt table key with
+  | Some facts ->
+    Feam_obs.Metrics.incr "elf.spec_memo.hit";
+    Feam_obs.Metrics.incr ~by:facts.fb_size "elf.spec_memo.saved_bytes";
+    facts
+  | None ->
+    Feam_obs.Metrics.incr "elf.spec_memo.miss";
+    let facts = extract key bytes in
+    Tbl.add table key facts;
+    facts
+
+let spec_of_bytes bytes =
+  let facts = facts_of_bytes bytes in
+  match (facts.fb_spec, facts.fb_parse_error) with
+  | Some spec, _ -> Ok spec
+  | None, Some err -> Error err
+  | None, None -> Error "unparseable object"
+
+let size () = Tbl.length table
+let reset () = Tbl.reset table

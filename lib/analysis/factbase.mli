@@ -1,0 +1,41 @@
+(** The content-addressed fact base (DESIGN §12): per-artifact facts —
+    the parsed spec, exported/needed symbols, verneeds, soname, ISA,
+    interp, glibc floor — extracted exactly once per distinct object and
+    keyed by {!Feam_depot.Chash}.  Identical bytes observed anywhere in
+    the fleet (any bundle, any site, any matrix cell) share one
+    extraction; the memo surfaces as the [elf.spec_memo] cache in the
+    observatory ([elf.spec_memo.hit] / [.miss] / [.saved_bytes]). *)
+
+type facts = {
+  fb_key : Feam_depot.Chash.t;  (** content identity of the bytes *)
+  fb_size : int;
+  fb_spec : Feam_elf.Spec.t option;  (** [None] when the bytes do not parse *)
+  fb_parse_error : string option;
+  fb_soname : string option;
+  fb_needed : string list;  (** DT_NEEDED, link order *)
+  fb_verneeds : Feam_elf.Spec.verneed list;
+  fb_machine : Feam_elf.Types.machine option;
+  fb_elf_class : Feam_elf.Types.elf_class option;
+  fb_interp : string option;
+  fb_exports : string list;  (** defined dynamic symbols, sorted, deduped *)
+  fb_glibc_floor : Feam_util.Version.t option;
+      (** newest GLIBC_x version bound from a C library — the oldest
+          glibc that can host the object *)
+}
+
+(** Extract (or recall) the facts for a payload.  First sight of a
+    content key parses and counts an [elf.spec_memo.miss]; every later
+    sight of the same bytes is an [elf.spec_memo.hit] that re-reads
+    nothing. *)
+val facts_of_bytes : string -> facts
+
+(** The memoized face of {!Feam_elf.Reader.spec_of_bytes}: same result,
+    shared extraction.  {!Context.of_bundle} parses through this. *)
+val spec_of_bytes : string -> (Feam_elf.Spec.t, string) result
+
+(** Distinct objects currently interned. *)
+val size : unit -> int
+
+(** Drop every interned fact (counters are left alone — they belong to
+    the metrics registry). *)
+val reset : unit -> unit

@@ -1,0 +1,54 @@
+(* Fleet orphans: binaries predicted strictly ready at zero target
+   sites.  A per-cell verdict answers "can this binary move to that
+   site"; only the fleet view can answer "can it move anywhere at all".
+   An orphan binary is a stranded asset: when its home site retires,
+   the workload dies with it. *)
+
+let id = "fleet-orphan"
+
+let check rule (fleet : Fleet.t) =
+  fleet.Fleet.binaries
+  |> List.concat_map (fun (b : Fleet.binary) ->
+         let cells = Fleet.cells_of_binary fleet b.Fleet.bin_id in
+         let ready = List.filter (fun c -> c.Fleet.cell_extended) cells in
+         if ready <> [] then []
+         else if cells = [] then
+           [
+             Rule.finding rule ~subject:b.Fleet.bin_id
+               ~fixit:
+                 "register the binary's MPI stack at another site so a \
+                  migration target exists at all"
+               (Printf.sprintf
+                  "no site in the fleet offers a matching MPI stack: the \
+                   binary is pinned to %s"
+                  b.Fleet.bin_home);
+           ]
+         else
+           [
+             Rule.finding rule ~subject:b.Fleet.bin_id
+               ~fixit:
+                 "inspect the per-cell findings (feam lint over the \
+                  bundle) for the blocking determinant; until one target \
+                  clears, the binary cannot leave its home site"
+               (Printf.sprintf
+                  "predicted ready at 0 of %d candidate target sites: if \
+                   %s retires, the workload dies with it"
+                  (List.length cells) b.Fleet.bin_home);
+           ])
+
+let rec rule =
+  {
+    Rule.id;
+    title = "binaries predicted ready at zero target sites";
+    default_level = Feam_core.Diagnose.Warn;
+    explain =
+      "Scans every binary's row of the migration matrix and reports the \
+       ones whose extended (EDC-tier) readiness verdict is negative at \
+       every candidate target \226\128\148 or that have no candidate \
+       target at all because no other site registers a matching MPI \
+       stack.  Such a binary is a stranded asset: when its home site \
+       retires, the workload dies with it.\n\
+       Fix: run the per-cell lint over the binary's bundle to find the \
+       blocking determinant, or register its MPI stack at another site.";
+    check = Rule.Fleet (fun fleet -> check rule fleet);
+  }

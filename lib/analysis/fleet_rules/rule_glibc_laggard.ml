@@ -1,0 +1,72 @@
+(* Glibc laggards: sites whose C library trails what their candidate
+   workload demands.  Each binary's glibc floor (its newest GLIBC_x
+   binding, from the fact base) is the oldest C library that can host
+   it; a site whose glibc sits below the floor of binaries that would
+   otherwise migrate there silently shrinks the fleet's capacity. *)
+
+open Feam_util
+
+let id = "glibc-laggard"
+
+let check rule (fleet : Fleet.t) =
+  fleet.Fleet.sites
+  |> List.concat_map (fun (s : Fleet.site) ->
+         (* The site's candidate workload: binaries with a matrix cell
+            targeting it. *)
+         let candidates =
+           fleet.Fleet.cells
+           |> List.filter (fun c -> c.Fleet.cell_target = s.Fleet.site_name)
+           |> List.map (fun c -> c.Fleet.cell_binary)
+           |> List.sort_uniq compare
+         in
+         let demanding =
+           candidates
+           |> List.filter_map (fun id ->
+                  List.find_opt
+                    (fun (b : Fleet.binary) -> b.Fleet.bin_id = id)
+                    fleet.Fleet.binaries)
+           |> List.filter_map (fun (b : Fleet.binary) ->
+                  match b.Fleet.bin_facts.Factbase.fb_glibc_floor with
+                  | Some floor when Version.(floor > s.Fleet.site_glibc) ->
+                    Some (b.Fleet.bin_id, floor)
+                  | _ -> None)
+         in
+         match demanding with
+         | [] -> []
+         | (_, f0) :: rest ->
+           let fleet_floor =
+             List.fold_left (fun acc (_, f) -> Version.max acc f) f0 rest
+           in
+           [
+             Rule.finding rule ~subject:s.Fleet.site_name
+               ~fixit:
+                 (Printf.sprintf
+                    "upgrade the site's C library to at least %s, or steer \
+                     the demanding binaries to newer sites"
+                    (Version.to_string fleet_floor))
+               (Printf.sprintf
+                  "glibc %s trails the %s floor demanded by %d of %d \
+                   candidate workload binaries: every one of their \
+                   migrations here is predicted to fail on version bindings"
+                  (Version.to_string s.Fleet.site_glibc)
+                  (Version.to_string fleet_floor)
+                  (List.length demanding) (List.length candidates));
+           ])
+
+let rec rule =
+  {
+    Rule.id;
+    title = "site glibc trailing the floor its candidate workload demands";
+    default_level = Feam_core.Diagnose.Warn;
+    explain =
+      "Computes each binary's glibc floor from the fact base (the newest \
+       GLIBC_x symbol version it binds \226\128\148 the oldest C library \
+       that can host it) and compares each site's glibc against the \
+       floors of the binaries whose matrix cells target that site.  A \
+       site trailing its candidate workload's floor silently shrinks \
+       fleet capacity: every migration of a demanding binary there is \
+       predicted to fail on version bindings.\n\
+       Fix: upgrade the site's C library, or steer demanding binaries \
+       to newer sites.";
+    check = Rule.Fleet (fun fleet -> check rule fleet);
+  }

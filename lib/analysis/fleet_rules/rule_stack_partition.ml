@@ -1,0 +1,119 @@
+(* MPI stack partitioning: implementations that split the fleet into
+   non-migratable islands.  The matrix only has a cell where source and
+   target share an MPI implementation, so an implementation registered
+   at a single site strands every binary built against it, and a fleet
+   whose sites fall into several connected components (under the
+   shares-an-implementation relation) can never rebalance load across
+   the component boundary. *)
+
+let id = "stack-partition"
+
+let stranded_impls rule (fleet : Fleet.t) =
+  (* impl -> sites registering it *)
+  let impl_sites = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Fleet.site) ->
+      List.iter
+        (fun impl ->
+          let prev =
+            Option.value (Hashtbl.find_opt impl_sites impl) ~default:[]
+          in
+          Hashtbl.replace impl_sites impl (s.Fleet.site_name :: prev))
+        s.Fleet.site_stacks)
+    fleet.Fleet.sites;
+  Hashtbl.fold (fun impl sites acc -> (impl, List.sort_uniq compare sites) :: acc)
+    impl_sites []
+  |> List.sort compare
+  |> List.concat_map (fun (impl, sites) ->
+         if List.length sites <> 1 then []
+         else
+           let users =
+             fleet.Fleet.binaries
+             |> List.filter (fun (b : Fleet.binary) ->
+                    b.Fleet.bin_impl = Some impl)
+           in
+           [
+             Rule.finding rule ~subject:impl
+               ~fixit:
+                 (Printf.sprintf
+                    "install %s at a second site to give its binaries a \
+                     migration target"
+                    impl)
+               (Printf.sprintf
+                  "registered only at %s: %d binaries built against it \
+                   have no migration target anywhere in the fleet"
+                  (List.hd sites) (List.length users));
+           ])
+
+(* Connected components of sites under "shares an MPI implementation". *)
+let islands rule (fleet : Fleet.t) =
+  let sites = List.map (fun (s : Fleet.site) -> s.Fleet.site_name) fleet.Fleet.sites in
+  let stacks_of name =
+    match Fleet.find_site fleet name with
+    | Some s -> s.Fleet.site_stacks
+    | None -> []
+  in
+  let connected a b =
+    List.exists (fun i -> List.mem i (stacks_of b)) (stacks_of a)
+  in
+  let component = Hashtbl.create 8 in
+  let rec absorb root name =
+    if not (Hashtbl.mem component name) then begin
+      Hashtbl.replace component name root;
+      List.iter
+        (fun other ->
+          if (not (Hashtbl.mem component other)) && connected name other then
+            absorb root other)
+        sites
+    end
+  in
+  List.iter (fun s -> absorb s s) sites;
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let root = Hashtbl.find component s in
+      let prev = Option.value (Hashtbl.find_opt groups root) ~default:[] in
+      Hashtbl.replace groups root (s :: prev))
+    sites;
+  let comps =
+    Hashtbl.fold (fun _ members acc -> List.sort compare members :: acc)
+      groups []
+    |> List.sort compare
+  in
+  if List.length comps < 2 then []
+  else
+    [
+      Rule.finding rule ~subject:"fleet"
+        ~fixit:
+          "install a common MPI implementation across the islands so \
+           load can rebalance fleet-wide"
+        (Printf.sprintf
+           "the fleet splits into %d non-migratable islands under the \
+            shared-MPI-stack relation: %s"
+           (List.length comps)
+           (String.concat " | "
+              (List.map (fun c -> String.concat "," c) comps)));
+    ]
+
+let check rule (fleet : Fleet.t) =
+  stranded_impls rule fleet @ islands rule fleet
+
+let rec rule =
+  {
+    Rule.id;
+    title = "MPI stacks splitting the fleet into non-migratable islands";
+    default_level = Feam_core.Diagnose.Warn;
+    explain =
+      "Two checks over the site/stack registry.  First, an MPI \
+       implementation registered at exactly one site strands every \
+       binary built against it \226\128\148 the matrix only has a cell \
+       where source and target share an implementation.  Second, the \
+       sites' connected components under the shares-an-implementation \
+       relation: a fleet that splits into several islands can never \
+       rebalance load across the boundary, whatever the per-binary \
+       verdicts say.\n\
+       Fix: install a common MPI implementation across the islands (the \
+       MPI ABI standardization effort exists precisely to make this \
+       cheap).";
+    check = Rule.Fleet (fun fleet -> check rule fleet);
+  }

@@ -1,6 +1,8 @@
 (* The pluggable rule registry.  Built-in rules are referenced
    explicitly (module initializers alone would never be linked), so the
-   set is deterministic and self-documenting. *)
+   set is deterministic and self-documenting.  Both tiers live in one
+   namespace: cell rules run per bundle under `feam lint`, fleet rules
+   once per matrix under `feam audit`. *)
 
 let rules : (string, Rule.t) Hashtbl.t = Hashtbl.create 16
 
@@ -15,17 +17,21 @@ let all () =
   Hashtbl.fold (fun _ r acc -> r :: acc) rules []
   |> List.sort (fun a b -> String.compare a.Rule.id b.Rule.id)
 
+let cell_rules () = List.filter (fun r -> not (Rule.is_fleet r)) (all ())
+let fleet_rules () = List.filter Rule.is_fleet (all ())
 let ids () = List.map (fun r -> r.Rule.id) (all ())
+let cell_ids () = List.map (fun r -> r.Rule.id) (cell_rules ())
+let fleet_ids () = List.map (fun r -> r.Rule.id) (fleet_rules ())
 
 let count () = Hashtbl.length rules
 
 let markdown_table () =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "| Rule | Default level | Checks |\n|---|---|---|\n";
+  Buffer.add_string buf "| Rule | Tier | Default level | Checks |\n|---|---|---|---|\n";
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "| `%s` | %s | %s |\n" r.Rule.id
+        (Printf.sprintf "| `%s` | %s | %s | %s |\n" r.Rule.id (Rule.tier r)
            (Feam_core.Diagnose.level_to_string r.Rule.default_level)
            r.Rule.title))
     (all ());
@@ -47,4 +53,9 @@ let () =
       Rule_symbol_interposed.rule;
       Rule_soname_unsound.rule;
       Rule_bundle_entry.rule;
+      Rule_abi_skew.rule;
+      Rule_fleet_orphan.rule;
+      Rule_glibc_laggard.rule;
+      Rule_depot_unreferenced.rule;
+      Rule_stack_partition.rule;
     ]

@@ -1,11 +1,20 @@
-(* One pluggable static-analysis rule. *)
+(* One pluggable static-analysis rule, in one of two tiers: cell rules
+   see a single bundle's Context.t; fleet rules see the whole matrix. *)
+
+type scope =
+  | Cell of (Context.t -> Feam_core.Diagnose.finding list)
+  | Fleet of (Fleet.t -> Feam_core.Diagnose.finding list)
 
 type t = {
   id : string;
   title : string;
   default_level : Feam_core.Diagnose.level;
-  check : Context.t -> Feam_core.Diagnose.finding list;
+  explain : string;
+  check : scope;
 }
+
+let tier rule = match rule.check with Cell _ -> "cell" | Fleet _ -> "fleet"
+let is_fleet rule = match rule.check with Fleet _ -> true | Cell _ -> false
 
 let finding rule ?level ?fixit ~subject message =
   {

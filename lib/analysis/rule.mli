@@ -1,14 +1,30 @@
 (** One pluggable static-analysis rule: an identifier, a one-line
     description for rule tables, the severity class it usually reports
-    at, and the check itself.  Rules are pure functions of the
-    {!Context.t}; they never mutate the bundle or the sites. *)
+    at, a long-form explanation for [feam lint --explain], and the
+    check itself.  Rules are pure functions of their scope — a
+    {!Context.t} for the cell tier, a {!Fleet.t} for the fleet tier —
+    and never mutate the bundle, the sites, or the fleet. *)
+
+(** Which view the check reads.  [Cell] rules run per bundle under
+    [feam lint]; [Fleet] rules run once over the whole matrix under
+    [feam audit]. *)
+type scope =
+  | Cell of (Context.t -> Feam_core.Diagnose.finding list)
+  | Fleet of (Fleet.t -> Feam_core.Diagnose.finding list)
 
 type t = {
   id : string;  (** stable kebab-case identifier, e.g. "isa-mismatch" *)
   title : string;  (** one line, for [feam lint --rules] and the README *)
   default_level : Feam_core.Diagnose.level;
-  check : Context.t -> Feam_core.Diagnose.finding list;
+  explain : string;
+      (** long-form description + fixit guidance for [--explain] *)
+  check : scope;
 }
+
+(** ["cell"] or ["fleet"], for rule tables. *)
+val tier : t -> string
+
+val is_fleet : t -> bool
 
 (** Build a finding attributed to a rule, at the rule's default level
     unless overridden. *)

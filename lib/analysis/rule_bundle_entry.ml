@@ -59,5 +59,14 @@ let rec rule =
     Rule.id;
     title = "entry names that would escape or collide in the staging dir";
     default_level = Feam_core.Diagnose.Error;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Checks every copy request and probe name for \"..\" path \
+       components (which would escape the staging directory at the \
+       target) and for duplicates (which would collide in it).  \
+       Bundle_io.parse_checked rejects such artifacts outright with a \
+       typed error; this rule surfaces the same policy over bundles \
+       built in memory or loaded through the legacy lenient path.\n\
+       Fix: strip directory components from entry names and drop or \
+       rename colliding entries, then re-bundle.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

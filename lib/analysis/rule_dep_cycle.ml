@@ -62,5 +62,15 @@ let rec rule =
     Rule.id;
     title = "cycles in the bundled dependency graph";
     default_level = Feam_core.Diagnose.Warn;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Finds cycles in the bundled dependency graph (DT_NEEDED edges \
+       between staged copies).  ld.so tolerates cycles by breaking them \
+       in load order, but a cycle inside a bundle means the staged \
+       copies initialize in an order the source site never exercised, \
+       and constructor-order bugs surface exactly there.  Each distinct \
+       cycle is reported once, rotated to its smallest label.\n\
+       Fix: break the cycle at the least essential edge (usually a \
+       plugin or utility library that can be dlopen'd instead of \
+       DT_NEEDED-linked).";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

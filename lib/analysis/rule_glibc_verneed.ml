@@ -84,5 +84,17 @@ let rec rule =
       "per-symbol glibc version bindings vs. the target C library, over \
        the whole closure";
     default_level = Feam_core.Diagnose.Warn;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Walks every .gnu.version_r block of every object in the bundle and \
+       vets each GLIBC_x symbol version individually: versions newer than \
+       the target's C library are errors (the loader refuses to start the \
+       program), GLIBC_PRIVATE bindings and version strings that match no \
+       known glibc release are warned (they can only resolve against the \
+       exact build that produced them).  Sharper than the prediction \
+       model's max-version determinant (paper \194\167III.C), which only \
+       compares the binary's newest binding.\n\
+       Fix: rebuild the object on a system whose glibc is no newer than \
+       the oldest target, or migrate only to sites providing at least the \
+       bound version.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

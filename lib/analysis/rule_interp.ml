@@ -49,5 +49,14 @@ let rec rule =
     Rule.id;
     title = "PT_INTERP missing or unconventional for the machine";
     default_level = Feam_core.Diagnose.Warn;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Checks each executable's PT_INTERP against the conventional \
+       dynamic-loader path for its machine.  An unconventional loader \
+       path only runs where that exact path exists \226\128\148 a silent \
+       portability trap (32-bit x86 binaries on x86-64 sites being the \
+       era's classic) \226\128\148 and a dynamically linked executable \
+       with no PT_INTERP at all cannot start anywhere (error).\n\
+       Fix: relink against the standard loader, or guarantee the \
+       requested loader path exists at every migration target.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

@@ -67,5 +67,14 @@ let rec rule =
     Rule.id;
     title = "machine or word-size mismatches anywhere in the closure";
     default_level = Feam_core.Diagnose.Error;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Checks machine and word size of every bundled copy against the \
+       application, and the application against the target site's \
+       hardware.  The prediction model's ISA determinant (paper \
+       \194\167III.A) only compares the root binary with the site; a \
+       bundle can still carry a copy built for another machine or word \
+       size, which the loader rejects only at run time.\n\
+       Fix: replace mismatched copies with builds from a matching site, \
+       or recompile the application at the target.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

@@ -53,5 +53,15 @@ let rec rule =
     Rule.id;
     title = "missing libraries vs. what the bundle can actually resolve";
     default_level = Feam_core.Diagnose.Warn;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Cross-checks the bundle's unlocatable list against what the \
+       resolution model (paper \194\167IV) can actually supply: a name \
+       recorded as unlocatable that a bundled copy satisfies is stale \
+       bookkeeping (info); a name with no copy at all makes readiness \
+       depend entirely on the target site (warn); and a requirement \
+       that is neither bundled nor recorded as unlocatable means the \
+       source-phase manifest is incomplete (warn).\n\
+       Fix: obtain the copy from a site where the binary runs and \
+       re-bundle \226\128\148 FEAM's source phase automates this.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

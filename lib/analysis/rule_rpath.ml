@@ -62,5 +62,15 @@ let rec rule =
     Rule.id;
     title = "RPATH/RUNPATH entries that escape the bundle or the filesystem";
     default_level = Feam_core.Diagnose.Warn;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Audits DT_RPATH/DT_RUNPATH entries across the closure.  The \
+       staged copies are exposed through LD_LIBRARY_PATH, and DT_RPATH \
+       (absent a DT_RUNPATH) precedes LD_LIBRARY_PATH in ld.so's search \
+       order: a source-site path baked into RPATH can shadow the staged \
+       copies at the target with whatever lives at that path.  Relative \
+       and empty entries are worse \226\128\148 they resolve against the \
+       working directory of the eventual run (error).\n\
+       Fix: relink with DT_RUNPATH (or no run path at all) and use only \
+       absolute or $ORIGIN-relative entries.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

@@ -81,5 +81,14 @@ let rec rule =
     title =
       "the same library base at different major versions across the closure";
     default_level = Feam_core.Diagnose.Error;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Collects every library base provided or required anywhere in the \
+       dependency closure and flags bases that appear at two or more \
+       major versions.  By the soname convention (paper \194\167III.D) \
+       majors are not API compatible, so whichever copy wins the search \
+       path breaks the loser's requirement \226\128\148 a failure the \
+       root-binary-only determinant never sees.\n\
+       Fix: align the whole closure on a single major version of the \
+       library, or drop the stale copies from the bundle.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

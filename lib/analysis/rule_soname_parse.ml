@@ -66,5 +66,14 @@ let rec rule =
     Rule.id;
     title = "library names that defy the lib<base>.so.<major> convention";
     default_level = Feam_core.Diagnose.Warn;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Flags shared-object names that do not parse as \
+       lib<base>.so.<major>[.<minor>].  Every layer of the framework \
+       \226\128\148 the compatibility convention, the resolution model, \
+       the bundle index \226\128\148 keys on that convention; a name \
+       outside it is invisible to version-compatibility checking.  \
+       Loader-owned names (the C library, ld-*.so) are exempt.\n\
+       Fix: rename the library to the convention so its major can be \
+       compared across sites.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

@@ -63,5 +63,14 @@ let rec rule =
     Rule.id;
     title = "soname-major acceptance refuted by the symbol closure";
     default_level = Feam_core.Diagnose.Warn;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Diffs the staged copies' exports against what the closure \
+       imports and reports every edge where the library-level \
+       soname-major determinant (paper \194\167III.D) says \"ready\" \
+       but the symbol walk proves otherwise: a library can keep its \
+       major and still drop an exported symbol, making the acceptance \
+       unsound rather than merely incomplete.\n\
+       Fix: trust the symbol-level verdict over the soname match and \
+       re-stage the provider from a build that exports the symbols.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

@@ -102,5 +102,14 @@ let rec rule =
     Rule.id;
     title = "recorded descriptions that disagree with the embedded images";
     default_level = Feam_core.Diagnose.Error;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Re-parses every embedded image and compares it with the \
+       description the source phase recorded: machine, word size, \
+       soname, DT_NEEDED set, and declared size must agree.  Toolchains \
+       stamp every build with a distinct build id, so a description \
+       gathered from one build and bytes captured from another \226\128\148 \
+       a bundle refreshed half-way \226\128\148 disagree here first.\n\
+       Fix: re-run the source phase so descriptions and images are \
+       regenerated together.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

@@ -29,5 +29,13 @@ let rec rule =
     Rule.id;
     title = "one symbol defined by several staged objects";
     default_level = Feam_core.Diagnose.Warn;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Reports symbols defined by more than one object in the staged \
+       closure.  ld.so binds every reference to the first definition in \
+       scope order and silently interposes the rest \226\128\148 usually \
+       a sign that two copies of the same code were staged from \
+       different builds, so behaviour depends on load order, which \
+       LD_LIBRARY_PATH staging is free to change.\n\
+       Fix: keep a single provider of each symbol in the bundle.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

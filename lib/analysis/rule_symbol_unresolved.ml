@@ -39,5 +39,14 @@ let rec rule =
     Rule.id;
     title = "imports no object in the staged closure exports";
     default_level = Feam_core.Diagnose.Error;
-    check = (fun ctx -> check rule ctx);
+    explain =
+      "Simulates ld.so's breadth-first binding over the staged closure \
+       and reports imports no object exports.  Only definitive misses \
+       are reported \226\128\148 ones proven not to come from an object \
+       merely absent from the bundle (those belong to the library-level \
+       rules).  Strong (GLOBAL) misses abort the program at load time or \
+       first call (error); weak misses legally bind to zero (info).\n\
+       Fix: re-stage a copy that exports the symbol from a site where \
+       the binary runs; `feam symcheck` prints the full bind log.";
+    check = Rule.Cell (fun ctx -> check rule ctx);
   }

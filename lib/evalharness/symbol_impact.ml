@@ -28,7 +28,7 @@ let examine binary target =
   match Migrate.user_stack_choice binary target with
   | None -> None
   | Some install -> (
-    match Feam_elf.Reader.spec_of_bytes binary.Testset.bytes with
+    match Feam_analysis.Factbase.spec_of_bytes binary.Testset.bytes with
     | Error _ -> None
     | Ok spec ->
       let env = Modules_tool.load_stack (Site.base_env target) install in

@@ -15,7 +15,7 @@ let table1 binaries =
   let correct, total =
     List.fold_left
       (fun (correct, total) (b : Testset.binary) ->
-        match Feam_elf.Reader.spec_of_bytes b.Testset.bytes with
+        match Feam_analysis.Factbase.spec_of_bytes b.Testset.bytes with
         | Error _ -> (correct, total + 1)
         | Ok spec -> (
           match Feam_core.Mpi_ident.identify spec.Feam_elf.Spec.needed with

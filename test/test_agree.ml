@@ -302,6 +302,20 @@ let test_replay_rejects_non_corpus () =
     | Ok _ -> Alcotest.fail "non-corpus journal must not replay"
     | Error _ -> ())
 
+(* The README calibration table is generated from the seed-42/50-scenario
+   agreement corpus; re-derive it here so doc and code cannot drift. *)
+
+let test_readme_calibration_in_sync () =
+  let readme = In_channel.with_open_text "../README.md" In_channel.input_all in
+  let runs = Feam_agree.Harness.run_corpus ~seed:42 ~count:50 () in
+  let expected = Feam_agree.Calibrate.markdown_table runs in
+  Alcotest.(check bool)
+    "README contains the corpus-derived calibration table verbatim" true
+    (Feam_sysmodel.Str_split.contains ~sub:expected readme);
+  Alcotest.(check (list string))
+    "no rule demotes on the documented corpus" []
+    (Feam_agree.Calibrate.demotions runs)
+
 let suite =
   ( "agree",
     [
@@ -329,4 +343,6 @@ let suite =
         test_journal_replay;
       Alcotest.test_case "replay rejects non-corpus journals" `Quick
         test_replay_rejects_non_corpus;
+      Alcotest.test_case "README calibration table in sync" `Quick
+        test_readme_calibration_in_sync;
     ] )
