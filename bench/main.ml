@@ -316,6 +316,75 @@ let bench_factbase_warm =
         (fun bytes -> ignore (Feam_analysis.Factbase.facts_of_bytes bytes))
         (Lazy.force factbase_payloads) )
 
+(* Drift observatory: one perturbation epoch over the reduced two-site
+   world, evaluated both ways.  full-reeval predicts every cell of the
+   perturbed world from scratch; incremental-reeval diffs the epoch
+   snapshots and predicts only the cells the invalidation engine marks
+   affected.  The headline drift_incremental / full ratio is the
+   observatory's whole value proposition. *)
+let drift_fixture =
+  lazy
+    (let specs = Driftrun.small_specs () in
+     let benchmarks = Driftrun.small_benchmarks () in
+     Feam_core.Bdc.set_describe_memo ();
+     let sites0, binaries0 = Driftrun.build_world params specs benchmarks [] in
+     let cells0 =
+       List.map
+         (fun (b, t) -> Driftrun.predict_cell b t)
+         (Driftrun.all_cells sites0 binaries0)
+     in
+     let base =
+       Driftrun.snapshot_of_world ~epoch:0 ~seed:42 ~label:"" sites0 binaries0
+         ~cells:cells0
+     in
+     (* The epoch-3 draw: on the small world it removes one non-MPI
+        library, invalidating a strict subset of cells — the regime the
+        incremental path is built for.  (The epoch-1 draw happens to
+        touch every cell, which would bench incremental as full + diff
+        overhead.) *)
+     let p =
+       Driftrun.draw ~seed:42 ~epoch:3
+         ~site_names:(List.map Feam_sysmodel.Site.name sites0)
+         ~candidates:(Driftrun.removal_candidates sites0)
+     in
+     let sites, binaries = Driftrun.build_world params specs benchmarks [ p ] in
+     let candidate =
+       Driftrun.snapshot_of_world ~epoch:1
+         ~seed:42 ~label:(Driftrun.perturbation_label p) sites binaries
+         ~cells:cells0
+     in
+     (base, candidate, sites, binaries))
+
+let bench_drift_full =
+  ( "drift/full-reeval",
+    fun () ->
+      let _, _, sites, binaries = Lazy.force drift_fixture in
+      List.iter
+        (fun (b, t) -> ignore (Driftrun.predict_cell b t))
+        (Driftrun.all_cells sites binaries) )
+
+let bench_drift_incremental =
+  ( "drift/incremental-reeval",
+    fun () ->
+      let base, candidate, sites, binaries = Lazy.force drift_fixture in
+      let plan = Feam_drift.Invalidate.affected base candidate in
+      let reevaluated =
+        List.map
+          (fun (c : Feam_drift.Invalidate.cell_id) ->
+            let binary =
+              List.find
+                (fun (b : Testset.binary) ->
+                  b.Testset.id = c.Feam_drift.Invalidate.ci_binary)
+                binaries
+            in
+            Driftrun.predict_cell binary
+              (Sites.find_by_name sites c.Feam_drift.Invalidate.ci_target))
+          plan.Feam_drift.Invalidate.pl_affected
+      in
+      ignore
+        (Feam_drift.Invalidate.merge
+           ~base:base.Feam_drift.Snapshot.cells ~reevaluated) )
+
 (* Per-cell analysis context over the shared fact base — the unit of
    work `feam lint` and every matrix cell's findings pay. *)
 let bench_audit_context =
@@ -333,6 +402,7 @@ let all_benches =
     bench_table4; bench_fig1; bench_fig2; bench_fig3; bench_fig4;
     bench_timing; bench_elf; bench_depot_hash; bench_depot_store;
     bench_depot_plan; bench_agree_scengen; bench_agree_pipeline;
+    bench_drift_full; bench_drift_incremental;
     bench_factbase_cold; bench_factbase_warm; bench_audit_context;
   ]
 
@@ -360,6 +430,7 @@ let headline_benches =
     ("both_phases", "fig2/both-phases");
     ("depot_plan_matrix", "depot/plan-matrix");
     ("agree_full_pipeline", "agree/full-pipeline");
+    ("drift_incremental", "drift/incremental-reeval");
     ("audit_context", "audit/context-of-bundle");
   ]
 

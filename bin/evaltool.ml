@@ -216,6 +216,47 @@ let run_audit seed =
   let findings = Feam_analysis.Engine.run_fleet fleet in
   print_string (Feam_analysis.Engine.render_fleet_text fleet findings)
 
+(* --drift DIR: replay the seeded drift sequence over the full matrix —
+   epoch snapshots, diff-driven incremental re-evaluation, readiness
+   timeline — and write the determinism artifacts (epoch_NNNN.jsonl,
+   timeline.jsonl) to DIR.  Byte-deterministic per seed: the CI drift
+   job diffs two runs. *)
+let run_drift seed dir epochs =
+  Fmt.pr "Replaying the drift sequence (%d epochs, seed %d)...@." epochs seed;
+  let result =
+    Driftrun.run ~progress:(Fmt.pr "  %s@.") ~seed ~epochs ()
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let store = Feam_drift.Epoch_store.open_ dir in
+  List.iter
+    (fun s -> ignore (Feam_drift.Epoch_store.put store s))
+    (Driftrun.snapshots result);
+  let timeline = Driftrun.timeline result in
+  Out_channel.with_open_text (Filename.concat dir "timeline.jsonl") (fun oc ->
+      Out_channel.output_string oc
+        (Feam_drift.Timeline.render_history timeline));
+  Fmt.pr "@.";
+  print_string (Feam_drift.Timeline.render_entries timeline);
+  let incr = result.Driftrun.dr_cells_reevaluated in
+  let full = result.Driftrun.dr_cells_full in
+  Fmt.pr
+    "incremental re-evaluation: %d of %d cell evaluations over %d epochs \
+     (%.1fx speedup vs full re-eval)@."
+    incr full epochs
+    (if incr = 0 then float_of_int full
+     else float_of_int full /. float_of_int incr);
+  Fmt.pr "wrote %d epoch snapshots and timeline.jsonl to %s@."
+    (List.length result.Driftrun.dr_epochs)
+    dir;
+  match result.Driftrun.dr_crosscheck with
+  | Ok () ->
+    Fmt.pr "cross-check: incremental verdicts byte-identical to a full \
+            re-evaluation@."
+  | Error e ->
+    Fmt.epr "cross-check FAILED: %s@." e;
+    Feam_obs.flush ();
+    exit 1
+
 let run_sweep n_seeds =
   let aggregates =
     Sweep.run ~on_progress:(fun seed -> Fmt.pr "  seed %d done@." seed) n_seeds
@@ -313,18 +354,19 @@ let trace_out =
         ~doc:"Write the trace to FILE instead of the terminal.")
 
 let run seed verbose sweep_n ablation whatif audit journal_dir depot_dir
-    costs costs_top costs_wall trace trace_out =
+    drift_dir drift_epochs costs costs_top costs_wall trace trace_out =
   setup_obs trace trace_out;
   (if ablation then run_ablation seed
    else if whatif then run_whatif seed
    else if audit then run_audit seed
    else if costs then run_costs seed costs_top costs_wall
    else
-     match (depot_dir, journal_dir, sweep_n) with
-     | Some dir, _, _ -> run_depot seed dir
-     | None, Some dir, _ -> run_journal seed dir
-     | None, None, Some n when n > 0 -> run_sweep n
-     | None, None, _ -> run_eval seed verbose);
+     match (drift_dir, depot_dir, journal_dir, sweep_n) with
+     | Some dir, _, _, _ -> run_drift seed dir drift_epochs
+     | None, Some dir, _, _ -> run_depot seed dir
+     | None, None, Some dir, _ -> run_journal seed dir
+     | None, None, None, Some n when n > 0 -> run_sweep n
+     | None, None, None, _ -> run_eval seed verbose);
   Feam_obs.flush ()
 
 let ablation =
@@ -368,6 +410,24 @@ let depot_dir =
               listing, every cell's plan, the summary, and one replayable \
               plan journal.")
 
+let drift_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "drift" ] ~docv:"DIR"
+        ~doc:"Instead of the evaluation tables, replay the seeded drift \
+              sequence over the migration matrix — epoch snapshots, \
+              diff-driven incremental re-evaluation, readiness timeline — \
+              and write the determinism artifacts (epoch_NNNN.jsonl, \
+              timeline.jsonl) to DIR (created if absent).")
+
+let drift_epochs =
+  Arg.(
+    value & opt int 6
+    & info [ "drift-epochs" ] ~docv:"N"
+        ~doc:"How many perturbation epochs --drift replays after the \
+              baseline.")
+
 let costs =
   Arg.(
     value & flag
@@ -395,7 +455,7 @@ let cmd =
     (Cmd.info "evaltool" ~doc:"Regenerate the FEAM paper's evaluation tables")
     Term.(
       const run $ seed $ verbose $ sweep $ ablation $ whatif $ audit
-      $ journal_dir $ depot_dir $ costs $ costs_top $ costs_wall $ trace
-      $ trace_out)
+      $ journal_dir $ depot_dir $ drift_dir $ drift_epochs $ costs
+      $ costs_top $ costs_wall $ trace $ trace_out)
 
 let () = exit (Cmd.eval cmd)

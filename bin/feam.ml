@@ -860,12 +860,22 @@ let cmd_replay debug json file =
    diff(1). *)
 let cmd_journal_diff debug json file_a file_b =
   setup_logs debug;
-  let a = parse_journal file_a in
-  let b = parse_journal file_b in
-  let d = Feam_flightrec.Diff.compare a b in
-  if json then print_endline (Json.render (Feam_flightrec.Diff.to_json d))
-  else print_string (Feam_flightrec.Diff.render_text d);
-  if not (Feam_flightrec.Diff.is_empty d) then exit 1
+  let slurp file =
+    if file = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text file In_channel.input_all
+  in
+  match Feam_flightrec.Diff.of_strings ~a:(slurp file_a) ~b:(slurp file_b) with
+  | Error e ->
+    let file =
+      match e.Feam_flightrec.Diff.je_side with `A -> file_a | `B -> file_b
+    in
+    Fmt.epr "diff: %s: %s@." file
+      (Feam_flightrec.Diff.journal_error_to_string e);
+    exit 2
+  | Ok d ->
+    if json then print_endline (Json.render (Feam_flightrec.Diff.to_json d))
+    else print_string (Feam_flightrec.Diff.render_text d);
+    if not (Feam_flightrec.Diff.is_empty d) then exit 1
 
 (* -- Differential agreement: `feam agree` ------------------------------------- *)
 
@@ -1925,13 +1935,209 @@ let bench_cmd =
              run-over-run trend reports for the bench suite's artifacts.")
     [ bench_report_cmd; bench_validate_cmd ]
 
+(* -- Fleet drift observatory: `feam drift ...` -------------------------------- *)
+
+(* Replay the seeded drift sequence and persist its artifacts — numbered
+   epoch snapshots plus timeline.jsonl — to a store directory.  Defaults
+   to the reduced two-site world so interactive runs stay quick; --full
+   replays the whole Table II fleet like `evaltool --drift`. *)
+let cmd_drift_snapshot debug seed epochs out full =
+  setup_logs debug;
+  let open Feam_evalharness in
+  let result =
+    if full then Driftrun.run ~progress:(Fmt.pr "  %s@.") ~seed ~epochs ()
+    else
+      Driftrun.run
+        ~specs:(Driftrun.small_specs ())
+        ~benchmarks:(Driftrun.small_benchmarks ())
+        ~progress:(Fmt.pr "  %s@.") ~seed ~epochs ()
+  in
+  ensure_dir out;
+  let store = Feam_drift.Epoch_store.open_ out in
+  List.iter
+    (fun s -> ignore (Feam_drift.Epoch_store.put store s))
+    (Driftrun.snapshots result);
+  let timeline = Driftrun.timeline result in
+  write_file (Filename.concat out "timeline.jsonl")
+    (Feam_drift.Timeline.render_history timeline);
+  print_string (Feam_drift.Timeline.render_entries timeline);
+  Fmt.pr "wrote %d epoch snapshots and timeline.jsonl to %s@."
+    (List.length result.Driftrun.dr_epochs)
+    out;
+  match result.Driftrun.dr_crosscheck with
+  | Ok () -> ()
+  | Error e ->
+    Fmt.epr "cross-check FAILED: %s@." e;
+    exit 1
+
+let epoch_a_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"EPOCH-A" ~doc:"Base epoch snapshot (epoch_NNNN.jsonl).")
+
+let epoch_b_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"EPOCH-B" ~doc:"New epoch snapshot.")
+
+let parse_epoch file =
+  match Feam_drift.Snapshot.of_jsonl (read_text file) with
+  | Ok s -> s
+  | Error e ->
+    Fmt.epr "drift: %s: %s@." file e;
+    exit 2
+
+(* Diff two stored epochs through the invalidation engine: the changed
+   evidence atoms, the determinants they feed, the cells they
+   invalidate, and the verdict flips actually recorded between the two
+   snapshots. *)
+let cmd_drift_diff debug json file_a file_b =
+  setup_logs debug;
+  let a = parse_epoch file_a in
+  let b = parse_epoch file_b in
+  let plan = Feam_drift.Invalidate.affected a b in
+  let flips =
+    Feam_drift.Invalidate.flips ~before:a.Feam_drift.Snapshot.cells
+      ~after:b.Feam_drift.Snapshot.cells
+  in
+  if json then
+    print_endline (Json.render (Feam_drift.Invalidate.to_json plan flips))
+  else print_string (Feam_drift.Invalidate.render_text plan flips);
+  if plan.Feam_drift.Invalidate.pl_changes <> [] then exit 1
+
+let timeline_file_arg =
+  Arg.(
+    value & pos 0 string "timeline.jsonl"
+    & info [] ~docv:"TIMELINE" ~doc:"Timeline history ('-' for stdin).")
+
+let parse_timeline file =
+  match Feam_drift.Timeline.parse_history (read_text file) with
+  | Ok entries -> entries
+  | Error e ->
+    Fmt.epr "drift: %s: %s@." file e;
+    exit 2
+
+let cmd_drift_timeline debug json file =
+  setup_logs debug;
+  let entries = parse_timeline file in
+  if json then
+    print_endline
+      (Json.render
+         (Json.List (List.map Feam_drift.Timeline.entry_to_json entries)))
+  else print_string (Feam_drift.Timeline.render_entries entries)
+
+let drift_rules_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rules" ] ~docv:"FILE"
+        ~doc:"Alert rules, one per line: 'rate-drop <fraction> <severity>', \
+              'regression <severity>', 'watch <binary-id> <severity>' \
+              (severity: info, warn, error; '#' comments).  Defaults to \
+              rate-drop 0.30 warn plus regression info.")
+
+let cmd_drift_check debug json rules_file fail_on file =
+  setup_logs debug;
+  let entries = parse_timeline file in
+  let rules =
+    match rules_file with
+    | None -> Feam_drift.Timeline.default_rules
+    | Some f -> (
+      match Feam_drift.Timeline.parse_rules (read_text f) with
+      | Ok rules -> rules
+      | Error e ->
+        Fmt.epr "drift: %s: %s@." f e;
+        exit 2)
+  in
+  let findings = Feam_drift.Timeline.check rules entries in
+  if json then
+    print_endline (Json.render (Feam_drift.Timeline.findings_to_json findings))
+  else print_string (Feam_drift.Timeline.render_findings findings);
+  match Feam_drift.Timeline.gate ~fail_on findings with
+  | Ok code -> exit code
+  | Error e ->
+    Fmt.epr "drift check: %s@." e;
+    exit 2
+
+let drift_epochs_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "epochs" ] ~docv:"N"
+        ~doc:"Perturbation epochs to replay after the baseline.")
+
+let drift_out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:"Epoch store directory (created if needed): epoch_NNNN.jsonl \
+              per epoch plus timeline.jsonl.")
+
+let drift_full_arg =
+  Arg.(
+    value & flag
+    & info [ "full" ]
+        ~doc:"Replay the whole Table II fleet and NPB+SPEC corpus instead \
+              of the reduced two-site world.")
+
+let drift_snapshot_cmd =
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Replay the seeded drift sequence — epoch snapshots, \
+             diff-driven incremental re-evaluation, readiness timeline — \
+             and persist epoch_NNNN.jsonl plus timeline.jsonl to --out.  \
+             Byte-deterministic per (seed, epochs).  Exits 1 when the \
+             incremental verdicts diverge from a full re-evaluation.")
+    Term.(
+      const cmd_drift_snapshot $ debug_arg $ agree_seed_arg $ drift_epochs_arg
+      $ drift_out_arg $ drift_full_arg)
+
+let drift_diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Diff two epoch snapshots through the invalidation engine: \
+             changed evidence atoms, the determinants they feed, the cells \
+             they invalidate, and the recorded verdict flips.  Exits 1 when \
+             the epochs differ, like diff(1).")
+    Term.(
+      const cmd_drift_diff $ debug_arg $ json_arg $ epoch_a_arg $ epoch_b_arg)
+
+let drift_timeline_cmd =
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Render a timeline.jsonl history as the per-epoch readiness \
+             table: ready cells, readiness rate, cells re-evaluated, and \
+             verdict flips.")
+    Term.(const cmd_drift_timeline $ debug_arg $ json_arg $ timeline_file_arg)
+
+let drift_check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Evaluate alert rules over a timeline history: readiness-rate \
+             drops, ready -> not-ready regressions, watched binaries.  \
+             Exit-code gated like 'feam lint' (--fail-on warn/error/never).")
+    Term.(
+      const cmd_drift_check $ debug_arg $ json_arg $ drift_rules_arg
+      $ lint_fail_on_arg $ timeline_file_arg)
+
+let drift_cmd =
+  Cmd.group
+    (Cmd.info "drift"
+       ~doc:"Fleet drift observatory: epoch snapshots of fleet evidence, \
+             diff-driven incremental re-evaluation of the migration matrix, \
+             and an alerting readiness timeline.")
+    [ drift_snapshot_cmd; drift_diff_cmd; drift_timeline_cmd; drift_check_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "feam" ~version:"1.0.0"
        ~doc:"Framework for Efficient Application Migration (simulated sites)")
     [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; metrics_cmd;
       stats_cmd; bench_cmd; lint_cmd; audit_cmd; symcheck_cmd; agree_cmd;
-      replay_cmd; diff_cmd; config_check_cmd; bundle_cmd; inspect_bundle_cmd;
-      depot_cmd; advise_cmd; rank_cmd; scenario_template_cmd ]
+      replay_cmd; diff_cmd; drift_cmd; config_check_cmd; bundle_cmd;
+      inspect_bundle_cmd; depot_cmd; advise_cmd; rank_cmd;
+      scenario_template_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,44 @@
+(* On-disk store of epoch snapshots: one JSONL document per numbered
+   epoch under a root directory.  Filenames are derived from the epoch
+   number alone, so putting the same snapshot twice is idempotent and
+   two runs of the same sequence produce byte-identical directories. *)
+
+type t = { dir : string }
+
+let open_ dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  { dir }
+
+let file_of_epoch n = Printf.sprintf "epoch_%04d.jsonl" n
+
+let epoch_of_file name =
+  match Scanf.sscanf_opt name "epoch_%04d.jsonl%!" (fun n -> n) with
+  | Some n when file_of_epoch n = name -> Some n
+  | _ -> None
+
+let path t n = Filename.concat t.dir (file_of_epoch n)
+
+let put t snapshot =
+  let p = path t snapshot.Snapshot.epoch in
+  Out_channel.with_open_text p (fun oc ->
+      Out_channel.output_string oc (Snapshot.to_jsonl snapshot));
+  p
+
+let get t n =
+  let p = path t n in
+  if not (Sys.file_exists p) then
+    Error (Printf.sprintf "no epoch %d in %s" n t.dir)
+  else
+    let body = In_channel.with_open_text p In_channel.input_all in
+    match Snapshot.of_jsonl body with
+    | Error e -> Error (Printf.sprintf "%s: %s" p e)
+    | Ok s -> Ok s
+
+let list t =
+  (if Sys.file_exists t.dir then Sys.readdir t.dir else [||])
+  |> Array.to_list
+  |> List.filter_map epoch_of_file
+  |> List.sort compare
+
+let latest t =
+  match List.rev (list t) with [] -> None | n :: _ -> Some n

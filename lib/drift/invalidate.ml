@@ -1,0 +1,344 @@
+(* The invalidation engine: diff two epochs' evidence atoms, map each
+   changed atom through the determinant<-evidence dependency map to the
+   matrix cells whose verdicts could depend on it, and hand back the
+   exact re-evaluation set.
+
+   The dependency map is read off `Tec.decide`'s per-determinant
+   evidence records: which discovery/description facts each of the four
+   determinants (isa, glibc, mpi_stack, shared_libraries) consumes.
+   Soundness argument (DESIGN §13): the verdict of a cell is a pure
+   function of its binary's atoms and its target site's atoms; an atom
+   unknown to the map conservatively invalidates every determinant, so
+   a cell outside the affected set has byte-identical inputs across the
+   two epochs and therefore a byte-identical verdict. *)
+
+module Json = Feam_util.Json
+
+type cell_id = { ci_binary : string; ci_target : string }
+
+let cell_id_key c = c.ci_binary ^ "->" ^ c.ci_target
+
+type change = {
+  ch_owner : Snapshot.owner;
+  ch_path : string;
+  ch_a : string option;
+  ch_b : string option;
+  ch_determinants : string list;
+  ch_cells : cell_id list;  (* cells this atom invalidates, sorted *)
+}
+
+type plan = {
+  pl_epoch_a : int;
+  pl_epoch_b : int;
+  pl_cells_total : int;
+  pl_affected : cell_id list;  (* union of ch_cells, sorted, deduped *)
+  pl_changes : change list;
+}
+
+(* -- the determinant <- evidence dependency map ------------------------ *)
+
+let all_determinants = [ "isa"; "glibc"; "mpi_stack"; "shared_libraries" ]
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Site-owned atoms reach a cell through the target-side EDC discovery,
+   the probe run, and the ldd/resolution walk.  The target glibc also
+   feeds probe compatibility and resolution filtering, so it fans out
+   past the glibc determinant. *)
+let site_determinants path =
+  if has_prefix "discovery.machine" path || has_prefix "discovery.os" path
+     || has_prefix "discovery.kernel" path
+  then [ "isa" ]
+  else if has_prefix "discovery.glibc" path then
+    [ "glibc"; "mpi_stack"; "shared_libraries" ]
+  else if has_prefix "discovery.stacks" path
+          || has_prefix "discovery.current_stack" path
+  then [ "mpi_stack"; "shared_libraries" ]
+  else if has_prefix "discovery.env_type" path then []
+  else if path = "ld_cache_current" || has_prefix "inventory." path then
+    (* library visibility: the resolution walk, and the probe runs that
+       load libraries under the candidate stack's session *)
+    [ "mpi_stack"; "shared_libraries" ]
+  else all_determinants
+
+(* Binary-owned atoms reach every cell of that binary.  The MPI identity
+   is derived from the needed list, so needed changes invalidate the
+   stack determinant too; bundle elements carry the probes and the
+   resolution model's library copies. *)
+let binary_determinants path =
+  if has_prefix "description.format" path then [ "isa" ]
+  else if has_prefix "description.verneeds" path then [ "glibc" ]
+  else if has_prefix "description.needed" path
+          || has_prefix "description.soname" path
+  then [ "mpi_stack"; "shared_libraries" ]
+  else if has_prefix "description.rpath" path
+          || has_prefix "description.runpath" path
+  then [ "shared_libraries" ]
+  else if has_prefix "description.compiler" path then [ "mpi_stack" ]
+  else if has_prefix "description.build_os" path
+          || has_prefix "description.path" path
+  then []
+  else if has_prefix "bundle." path then [ "mpi_stack"; "shared_libraries" ]
+  else all_determinants (* digest, error, home, unknown paths: everything *)
+
+let determinants_of_atom owner path =
+  match owner with
+  | Snapshot.Site_owner _ -> site_determinants path
+  | Snapshot.Binary_owner _ -> binary_determinants path
+
+(* -- atom diff --------------------------------------------------------- *)
+
+let compare_cells a b = compare (a.ci_binary, a.ci_target) (b.ci_binary, b.ci_target)
+
+let owner_rank = function
+  | Snapshot.Site_owner _ -> 0
+  | Snapshot.Binary_owner _ -> 1
+
+let compare_owners a b =
+  match Stdlib.compare (owner_rank a) (owner_rank b) with
+  | 0 ->
+    String.compare (Snapshot.owner_to_string a) (Snapshot.owner_to_string b)
+  | c -> c
+
+(* Cells a changed atom invalidates: site atoms reach the cells
+   targeting that site (home-side effects surface as binary atoms — the
+   snapshot captures the bundle the home site produces); binary atoms
+   reach every cell of that binary. *)
+let cells_of_owner cells owner determinants =
+  if determinants = [] then []
+  else
+    List.filter
+      (fun (c : Snapshot.cell) ->
+        match owner with
+        | Snapshot.Site_owner s -> c.Snapshot.cl_target = s
+        | Snapshot.Binary_owner b -> c.Snapshot.cl_binary = b)
+      cells
+    |> List.map (fun (c : Snapshot.cell) ->
+           { ci_binary = c.Snapshot.cl_binary; ci_target = c.Snapshot.cl_target })
+    |> List.sort_uniq compare_cells
+
+let affected (a : Snapshot.t) (b : Snapshot.t) =
+  let index atoms =
+    let tbl = Hashtbl.create 1024 in
+    List.iter (fun (owner, path, v) -> Hashtbl.replace tbl (owner, path) v) atoms;
+    tbl
+  in
+  let atoms_a = Snapshot.evidence_atoms a in
+  let atoms_b = Snapshot.evidence_atoms b in
+  let ia = index atoms_a and ib = index atoms_b in
+  let changed = Hashtbl.create 64 in
+  List.iter
+    (fun (owner, path, va) ->
+      match Hashtbl.find_opt ib (owner, path) with
+      | Some vb when vb = va -> ()
+      | Some vb -> Hashtbl.replace changed (owner, path) (Some va, Some vb)
+      | None -> Hashtbl.replace changed (owner, path) (Some va, None))
+    atoms_a;
+  List.iter
+    (fun (owner, path, vb) ->
+      if not (Hashtbl.mem ia (owner, path)) then
+        Hashtbl.replace changed (owner, path) (None, Some vb))
+    atoms_b;
+  let changes =
+    Hashtbl.fold
+      (fun (owner, path) (va, vb) acc ->
+        let determinants = determinants_of_atom owner path in
+        {
+          ch_owner = owner;
+          ch_path = path;
+          ch_a = va;
+          ch_b = vb;
+          ch_determinants = determinants;
+          ch_cells = cells_of_owner a.Snapshot.cells owner determinants;
+        }
+        :: acc)
+      changed []
+    |> List.sort (fun x y ->
+           match compare_owners x.ch_owner y.ch_owner with
+           | 0 -> String.compare x.ch_path y.ch_path
+           | c -> c)
+  in
+  let affected =
+    List.concat_map (fun c -> c.ch_cells) changes
+    |> List.sort_uniq compare_cells
+  in
+  {
+    pl_epoch_a = a.Snapshot.epoch;
+    pl_epoch_b = b.Snapshot.epoch;
+    pl_cells_total = List.length a.Snapshot.cells;
+    pl_affected = affected;
+    pl_changes = changes;
+  }
+
+let is_affected plan ~binary ~target =
+  List.exists
+    (fun c -> c.ci_binary = binary && c.ci_target = target)
+    plan.pl_affected
+
+(* -- merging and flip accounting --------------------------------------- *)
+
+(* The incremental verdict table: re-evaluated cells replace their
+   epoch-A rows; everything else carries forward untouched. *)
+let merge ~base ~reevaluated =
+  let fresh = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Snapshot.cell) ->
+      Hashtbl.replace fresh (c.Snapshot.cl_binary, c.Snapshot.cl_target) c)
+    reevaluated;
+  List.map
+    (fun (c : Snapshot.cell) ->
+      match Hashtbl.find_opt fresh (c.Snapshot.cl_binary, c.Snapshot.cl_target) with
+      | Some c' -> c'
+      | None -> c)
+    base
+
+type flip = { fp_cell : cell_id; fp_before : bool; fp_after : bool }
+
+(* Extended-verdict flips between two verdict tables, by cell key. *)
+let flips ~before ~after =
+  let old = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Snapshot.cell) ->
+      Hashtbl.replace old
+        (c.Snapshot.cl_binary, c.Snapshot.cl_target)
+        c.Snapshot.cl_extended)
+    before;
+  List.filter_map
+    (fun (c : Snapshot.cell) ->
+      match Hashtbl.find_opt old (c.Snapshot.cl_binary, c.Snapshot.cl_target) with
+      | Some was when was <> c.Snapshot.cl_extended ->
+        Some
+          {
+            fp_cell =
+              {
+                ci_binary = c.Snapshot.cl_binary;
+                ci_target = c.Snapshot.cl_target;
+              };
+            fp_before = was;
+            fp_after = c.Snapshot.cl_extended;
+          }
+      | _ -> None)
+    after
+  |> List.sort (fun a b -> compare_cells a.fp_cell b.fp_cell)
+
+(* Per-change attribution: which of a changed atom's invalidated cells
+   actually flipped, and in which direction. *)
+type attribution = {
+  at_change : change;
+  at_to_ready : int;
+  at_to_not_ready : int;
+}
+
+let attribute plan flips =
+  let flipped = Hashtbl.create 16 in
+  List.iter
+    (fun f -> Hashtbl.replace flipped (f.fp_cell.ci_binary, f.fp_cell.ci_target) f.fp_after)
+    flips;
+  List.map
+    (fun ch ->
+      let to_ready, to_not_ready =
+        List.fold_left
+          (fun (r, n) c ->
+            match Hashtbl.find_opt flipped (c.ci_binary, c.ci_target) with
+            | Some true -> (r + 1, n)
+            | Some false -> (r, n + 1)
+            | None -> (r, n))
+          (0, 0) ch.ch_cells
+      in
+      { at_change = ch; at_to_ready = to_ready; at_to_not_ready = to_not_ready })
+    plan.pl_changes
+
+(* -- metrics ----------------------------------------------------------- *)
+
+(* ROADMAP item 1's cells-reevaluated-per-change metric, plus the fleet
+   gauges the Prometheus expo surfaces as feam_drift_*. *)
+let record_metrics plan =
+  Feam_obs.Metrics.incr "drift.cells_reevaluated"
+    ~by:(List.length plan.pl_affected);
+  Feam_obs.Metrics.incr "drift.cells_total" ~by:plan.pl_cells_total
+
+let record_epoch_gauges (s : Snapshot.t) =
+  Feam_obs.Metrics.set_gauge "drift.epoch" (float_of_int s.Snapshot.epoch);
+  Feam_obs.Metrics.set_gauge "drift.ready_cells"
+    (float_of_int (Snapshot.ready_cells s));
+  Feam_obs.Metrics.set_gauge "drift.readiness_rate" (Snapshot.readiness_rate s)
+
+(* -- rendering --------------------------------------------------------- *)
+
+let side = function None -> "(absent)" | Some v -> v
+
+let render_change_line at =
+  let ch = at.at_change in
+  Printf.sprintf "  %s %s: %s -> %s [%s] invalidates %d cell%s%s\n"
+    (Snapshot.owner_to_string ch.ch_owner)
+    ch.ch_path (side ch.ch_a) (side ch.ch_b)
+    (String.concat "," ch.ch_determinants)
+    (List.length ch.ch_cells)
+    (if List.length ch.ch_cells = 1 then "" else "s")
+    (if at.at_to_ready + at.at_to_not_ready = 0 then ""
+     else
+       Printf.sprintf ", flipped %d not-ready->ready, %d ready->not-ready"
+         at.at_to_ready at.at_to_not_ready)
+
+let render_text plan flips =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "epoch diff %d -> %d: %d changed atom%s, %d of %d cells invalidated\n"
+       plan.pl_epoch_a plan.pl_epoch_b
+       (List.length plan.pl_changes)
+       (if List.length plan.pl_changes = 1 then "" else "s")
+       (List.length plan.pl_affected)
+       plan.pl_cells_total);
+  List.iter
+    (fun at -> Buffer.add_string buf (render_change_line at))
+    (attribute plan flips);
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "  cell %s: %s -> %s  [FLIPPED]\n" (cell_id_key f.fp_cell)
+           (if f.fp_before then "ready" else "not-ready")
+           (if f.fp_after then "ready" else "not-ready")))
+    flips;
+  Buffer.contents buf
+
+let opt_str = function None -> Json.Null | Some v -> Json.Str v
+
+let to_json plan flips =
+  Json.Obj
+    [
+      ("epoch_a", Json.Int plan.pl_epoch_a);
+      ("epoch_b", Json.Int plan.pl_epoch_b);
+      ("cells_total", Json.Int plan.pl_cells_total);
+      ("cells_affected", Json.Int (List.length plan.pl_affected));
+      ( "changes",
+        Json.List
+          (List.map
+             (fun at ->
+               let ch = at.at_change in
+               Json.Obj
+                 [
+                   ("owner", Json.Str (Snapshot.owner_to_string ch.ch_owner));
+                   ("path", Json.Str ch.ch_path);
+                   ("a", opt_str ch.ch_a);
+                   ("b", opt_str ch.ch_b);
+                   ( "determinants",
+                     Json.List
+                       (List.map (fun d -> Json.Str d) ch.ch_determinants) );
+                   ("cells", Json.Int (List.length ch.ch_cells));
+                   ("to_ready", Json.Int at.at_to_ready);
+                   ("to_not_ready", Json.Int at.at_to_not_ready);
+                 ])
+             (attribute plan flips)) );
+      ( "flips",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("cell", Json.Str (cell_id_key f.fp_cell));
+                   ("before", Json.Bool f.fp_before);
+                   ("after", Json.Bool f.fp_after);
+                 ])
+             flips) );
+    ]

@@ -1,0 +1,73 @@
+(** The invalidation engine: diff two epoch snapshots' evidence atoms,
+    map each flipped atom through the determinant<-evidence dependency
+    map (read off [Tec.decide]'s per-determinant evidence records) to
+    the exact set of matrix cells needing re-evaluation. *)
+
+type cell_id = { ci_binary : string; ci_target : string }
+
+(** "binary->target". *)
+val cell_id_key : cell_id -> string
+
+type change = {
+  ch_owner : Snapshot.owner;
+  ch_path : string;
+  ch_a : string option;  (** value in the base epoch; [None] if added *)
+  ch_b : string option;  (** value in the new epoch; [None] if removed *)
+  ch_determinants : string list;
+      (** determinants this atom feeds; [[]] means verdict-inert *)
+  ch_cells : cell_id list;  (** cells this atom invalidates, sorted *)
+}
+
+type plan = {
+  pl_epoch_a : int;
+  pl_epoch_b : int;
+  pl_cells_total : int;
+  pl_affected : cell_id list;  (** union of [ch_cells], sorted, deduped *)
+  pl_changes : change list;
+}
+
+val all_determinants : string list
+
+(** Determinants an (owner, path) atom feeds.  Unknown paths
+    conservatively return [all_determinants] — soundness over
+    precision. *)
+val determinants_of_atom : Snapshot.owner -> string -> string list
+
+(** Diff the evidence atoms of two epochs and compute the
+    re-evaluation set over the base epoch's cell list. *)
+val affected : Snapshot.t -> Snapshot.t -> plan
+
+val is_affected : plan -> binary:string -> target:string -> bool
+
+(** Incremental verdict table: re-evaluated cells replace their rows in
+    [base]; untouched cells carry forward. *)
+val merge :
+  base:Snapshot.cell list ->
+  reevaluated:Snapshot.cell list ->
+  Snapshot.cell list
+
+type flip = { fp_cell : cell_id; fp_before : bool; fp_after : bool }
+
+(** Extended-verdict flips between two verdict tables, sorted by cell. *)
+val flips : before:Snapshot.cell list -> after:Snapshot.cell list -> flip list
+
+type attribution = {
+  at_change : change;
+  at_to_ready : int;
+  at_to_not_ready : int;
+}
+
+(** Per-change attribution: how many of each changed atom's invalidated
+    cells flipped, and in which direction. *)
+val attribute : plan -> flip list -> attribution list
+
+(** Bump [drift.cells_reevaluated] / [drift.cells_total] counters. *)
+val record_metrics : plan -> unit
+
+(** Set the [drift.epoch] / [drift.ready_cells] /
+    [drift.readiness_rate] gauges from a snapshot. *)
+val record_epoch_gauges : Snapshot.t -> unit
+
+val render_text : plan -> flip list -> string
+
+val to_json : plan -> flip list -> Feam_util.Json.t

@@ -1,0 +1,352 @@
+(* One epoch of fleet evidence: everything the migration matrix's
+   verdicts are a function of, captured as plain data — per-site
+   discoveries and library inventories, per-binary descriptions and
+   bundle digests, the depot possession derived from ready cells, and
+   the verdict table itself.
+
+   Epochs are numbered, never timestamped: the same world captured
+   twice serializes byte-identically, and the content address (reusing
+   the depot's Chash under a drift-specific domain prefix) is the
+   epoch's identity.  On disk an epoch is a flightrec-style versioned
+   JSONL document: a header line, then one record per site, binary,
+   possession row and cell. *)
+
+module Json = Feam_util.Json
+module Chash = Feam_depot.Chash
+module Diff = Feam_flightrec.Diff
+
+let schema_version = 1
+
+(* Domain separation on top of the depot hash: an epoch body and a
+   library payload with identical bytes must never collide keys. *)
+let hash_domain = "feam.drift.epoch.v1\x00"
+
+type site_state = {
+  ss_name : string;
+  ss_ld_cache_current : bool;
+  ss_discovery : Json.t;  (* Discovery.to_json of the target-mode EDC run *)
+  ss_inventory : (string * string) list;  (* loader-visible path -> digest *)
+}
+
+type binary_state = {
+  bs_id : string;
+  bs_home : string;
+  bs_digest : string;  (* content hash of the binary image *)
+  bs_error : string option;  (* source-phase failure, if any *)
+  bs_description : Json.t;  (* Description.to_json; Null under bs_error *)
+  bs_bundle : (string * string) list;  (* bundle element -> digest *)
+}
+
+type cell = {
+  cl_binary : string;
+  cl_target : string;
+  cl_basic : bool;
+  cl_basic_reasons : string list;
+  cl_extended : bool;
+  cl_extended_reasons : string list;
+  cl_staged : string list;
+}
+
+type t = {
+  epoch : int;
+  seed : int;
+  label : string;  (* the perturbation this epoch applied; "" at baseline *)
+  sites : site_state list;
+  binaries : binary_state list;
+  possession : (string * string list) list;  (* site -> object digests *)
+  cells : cell list;
+}
+
+let cell_key c = c.cl_binary ^ "->" ^ c.cl_target
+
+(* Canonical ordering: every list sorted by its natural key, so capture
+   order never leaks into the serialization or the hash. *)
+let normalize t =
+  {
+    t with
+    sites =
+      List.map
+        (fun s ->
+          { s with ss_inventory = List.sort compare s.ss_inventory })
+        t.sites
+      |> List.sort (fun a b -> String.compare a.ss_name b.ss_name);
+    binaries =
+      List.map (fun b -> { b with bs_bundle = List.sort compare b.bs_bundle })
+        t.binaries
+      |> List.sort (fun a b -> String.compare a.bs_id b.bs_id);
+    possession =
+      List.map (fun (s, ks) -> (s, List.sort_uniq compare ks)) t.possession
+      |> List.sort compare;
+    cells =
+      List.sort
+        (fun a b ->
+          compare (a.cl_binary, a.cl_target) (b.cl_binary, b.cl_target))
+        t.cells;
+  }
+
+let ready_cells t =
+  List.length (List.filter (fun c -> c.cl_extended) t.cells)
+
+let readiness_rate t =
+  match t.cells with
+  | [] -> 0.0
+  | cells -> float_of_int (ready_cells t) /. float_of_int (List.length cells)
+
+let find_cell t ~binary ~target =
+  List.find_opt
+    (fun c -> c.cl_binary = binary && c.cl_target = target)
+    t.cells
+
+(* -- serialization ---------------------------------------------------- *)
+
+let str_list l = Json.List (List.map (fun s -> Json.Str s) l)
+
+let pairs_json ~key ~value l =
+  Json.List
+    (List.map
+       (fun (k, v) -> Json.Obj [ (key, Json.Str k); (value, Json.Str v) ])
+       l)
+
+let site_to_json s =
+  Json.Obj
+    [
+      ("type", Json.Str "site");
+      ("name", Json.Str s.ss_name);
+      ("ld_cache_current", Json.Bool s.ss_ld_cache_current);
+      ("discovery", s.ss_discovery);
+      ("inventory", pairs_json ~key:"path" ~value:"digest" s.ss_inventory);
+    ]
+
+let binary_to_json b =
+  Json.Obj
+    [
+      ("type", Json.Str "binary");
+      ("id", Json.Str b.bs_id);
+      ("home", Json.Str b.bs_home);
+      ("digest", Json.Str b.bs_digest);
+      ( "error",
+        match b.bs_error with None -> Json.Null | Some e -> Json.Str e );
+      ("description", b.bs_description);
+      ("bundle", pairs_json ~key:"name" ~value:"digest" b.bs_bundle);
+    ]
+
+let possession_to_json (site, keys) =
+  Json.Obj
+    [
+      ("type", Json.Str "possession");
+      ("site", Json.Str site);
+      ("objects", str_list keys);
+    ]
+
+let cell_to_json c =
+  Json.Obj
+    [
+      ("type", Json.Str "cell");
+      ("binary", Json.Str c.cl_binary);
+      ("target", Json.Str c.cl_target);
+      ("basic", Json.Bool c.cl_basic);
+      ("basic_reasons", str_list c.cl_basic_reasons);
+      ("extended", Json.Bool c.cl_extended);
+      ("extended_reasons", str_list c.cl_extended_reasons);
+      ("staged", str_list c.cl_staged);
+    ]
+
+let to_jsonl t =
+  let t = normalize t in
+  let buf = Buffer.create 4096 in
+  let line json = Buffer.add_string buf (Json.render json ^ "\n") in
+  line
+    (Json.Obj
+       [
+         ("type", Json.Str "epoch");
+         ("schema", Json.Int schema_version);
+         ("tool", Json.Str "drift");
+       ]);
+  line
+    (Json.Obj
+       [
+         ("type", Json.Str "meta");
+         ("epoch", Json.Int t.epoch);
+         ("seed", Json.Int t.seed);
+         ("label", Json.Str t.label);
+       ]);
+  List.iter (fun s -> line (site_to_json s)) t.sites;
+  List.iter (fun b -> line (binary_to_json b)) t.binaries;
+  List.iter (fun p -> line (possession_to_json p)) t.possession;
+  List.iter (fun c -> line (cell_to_json c)) t.cells;
+  Buffer.contents buf
+
+let hash t = Chash.to_hex (Chash.of_bytes (hash_domain ^ to_jsonl t))
+
+(* -- parsing ---------------------------------------------------------- *)
+
+let str_field key json = Option.bind (Json.member key json) Json.to_string_opt
+
+let bool_field key json = Option.bind (Json.member key json) Json.to_bool_opt
+
+let strs_field key json =
+  match Option.bind (Json.member key json) Json.to_list_opt with
+  | None -> []
+  | Some items -> List.filter_map Json.to_string_opt items
+
+let pairs_field ~key ~value field json =
+  match Option.bind (Json.member field json) Json.to_list_opt with
+  | None -> []
+  | Some items ->
+    List.filter_map
+      (fun item ->
+        match (str_field key item, str_field value item) with
+        | Some k, Some v -> Some (k, v)
+        | _ -> None)
+      items
+
+let parse_record json t =
+  match str_field "type" json with
+  | Some "meta" -> (
+    match
+      ( Option.bind (Json.member "epoch" json) Json.to_int_opt,
+        Option.bind (Json.member "seed" json) Json.to_int_opt )
+    with
+    | Some epoch, Some seed ->
+      Ok
+        {
+          t with
+          epoch;
+          seed;
+          label = Option.value (str_field "label" json) ~default:"";
+        }
+    | _ -> Error "meta record needs integer epoch and seed")
+  | Some "site" -> (
+    match str_field "name" json with
+    | None -> Error "site record needs a name"
+    | Some name ->
+      let s =
+        {
+          ss_name = name;
+          ss_ld_cache_current =
+            Option.value (bool_field "ld_cache_current" json) ~default:true;
+          ss_discovery =
+            Option.value (Json.member "discovery" json) ~default:Json.Null;
+          ss_inventory = pairs_field ~key:"path" ~value:"digest" "inventory" json;
+        }
+      in
+      Ok { t with sites = s :: t.sites })
+  | Some "binary" -> (
+    match (str_field "id" json, str_field "home" json) with
+    | Some id, Some home ->
+      let b =
+        {
+          bs_id = id;
+          bs_home = home;
+          bs_digest = Option.value (str_field "digest" json) ~default:"";
+          bs_error = str_field "error" json;
+          bs_description =
+            Option.value (Json.member "description" json) ~default:Json.Null;
+          bs_bundle = pairs_field ~key:"name" ~value:"digest" "bundle" json;
+        }
+      in
+      Ok { t with binaries = b :: t.binaries }
+    | _ -> Error "binary record needs id and home")
+  | Some "possession" -> (
+    match str_field "site" json with
+    | None -> Error "possession record needs a site"
+    | Some site ->
+      Ok
+        { t with possession = (site, strs_field "objects" json) :: t.possession })
+  | Some "cell" -> (
+    match (str_field "binary" json, str_field "target" json) with
+    | Some binary, Some target ->
+      let c =
+        {
+          cl_binary = binary;
+          cl_target = target;
+          cl_basic = Option.value (bool_field "basic" json) ~default:false;
+          cl_basic_reasons = strs_field "basic_reasons" json;
+          cl_extended = Option.value (bool_field "extended" json) ~default:false;
+          cl_extended_reasons = strs_field "extended_reasons" json;
+          cl_staged = strs_field "staged" json;
+        }
+      in
+      Ok { t with cells = c :: t.cells }
+    | _ -> Error "cell record needs binary and target")
+  | Some _ -> Ok t (* unknown record types are preserved-by-ignoring *)
+  | None -> Error "record without a type"
+
+let of_jsonl body =
+  let lines =
+    String.split_on_char '\n' body |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty epoch document"
+  | header :: records -> (
+    match Json.parse header with
+    | Error e -> Error ("header: " ^ e)
+    | Ok json -> (
+      match
+        ( str_field "type" json,
+          Option.bind (Json.member "schema" json) Json.to_int_opt )
+      with
+      | Some "epoch", Some v when v <= schema_version ->
+        let empty =
+          {
+            epoch = 0;
+            seed = 0;
+            label = "";
+            sites = [];
+            binaries = [];
+            possession = [];
+            cells = [];
+          }
+        in
+        let rec go lineno t = function
+          | [] -> Ok (normalize t)
+          | line :: rest -> (
+            let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+            match Json.parse line with
+            | Error e -> fail e
+            | Ok json -> (
+              match parse_record json t with
+              | Error e -> fail e
+              | Ok t -> go (lineno + 1) t rest))
+        in
+        go 2 empty records
+      | Some "epoch", Some v ->
+        Error
+          (Printf.sprintf "unsupported epoch schema %d (this build reads <= %d)"
+             v schema_version)
+      | Some "epoch", None -> Error "header: missing schema version"
+      | _ -> Error "not a drift epoch document"))
+
+(* -- evidence atoms ---------------------------------------------------- *)
+
+(* The invalidation engine's vocabulary: each fleet-evidence fact as an
+   (owner, dotted path, value) atom.  Cells and possession are derived
+   data — they are never inputs to invalidation, so they contribute no
+   atoms. *)
+
+type owner = Site_owner of string | Binary_owner of string
+
+let owner_to_string = function
+  | Site_owner s -> "site " ^ s
+  | Binary_owner b -> "binary " ^ b
+
+let site_atoms s =
+  (("ld_cache_current", string_of_bool s.ss_ld_cache_current)
+   :: List.map (fun (p, v) -> ("discovery." ^ p, v)) (Diff.atoms s.ss_discovery)
+  @ List.map (fun (path, digest) -> ("inventory." ^ path, digest)) s.ss_inventory)
+  |> List.map (fun (p, v) -> (Site_owner s.ss_name, p, v))
+
+let binary_atoms b =
+  (("home", b.bs_home) :: ("digest", b.bs_digest)
+   :: (match b.bs_error with
+      | None -> []
+      | Some e -> [ ("error", e) ])
+  @ List.map (fun (p, v) -> ("description." ^ p, v))
+      (Diff.atoms b.bs_description)
+  @ List.map (fun (name, digest) -> ("bundle." ^ name, digest)) b.bs_bundle)
+  |> List.map (fun (p, v) -> (Binary_owner b.bs_id, p, v))
+
+let evidence_atoms t =
+  let t = normalize t in
+  List.concat_map site_atoms t.sites
+  @ List.concat_map binary_atoms t.binaries

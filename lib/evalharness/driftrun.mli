@@ -1,0 +1,107 @@
+(** The seeded drift sequence: replay fleet change as numbered epochs
+    over the migration matrix, snapshotting evidence per epoch and
+    re-evaluating only the cells the invalidation engine marks
+    affected.  Byte-deterministic for a given (seed, epochs, world). *)
+
+type perturbation = {
+  pe_site : string;
+  pe_what : Scengen.perturbation;  (** [Remove_lib] or [Stale_ld_cache] *)
+}
+
+val perturbation_label : perturbation -> string
+
+type epoch_result = {
+  er_snapshot : Feam_drift.Snapshot.t;
+  er_label : string;  (** the toggle applied; [""] at baseline *)
+  er_plan : Feam_drift.Invalidate.plan option;  (** [None] at baseline *)
+  er_flips : Feam_drift.Invalidate.flip list;
+  er_entry : Feam_drift.Timeline.entry;
+}
+
+type t = {
+  dr_seed : int;
+  dr_epochs : epoch_result list;  (** baseline first *)
+  dr_cells_total : int;
+  dr_cells_reevaluated : int;  (** post-baseline incremental work *)
+  dr_cells_full : int;  (** what full re-evaluation would have cost *)
+  dr_crosscheck : (unit, string) result;
+      (** byte-identity of the final incremental verdict table against
+          a full prediction pass over the final world *)
+}
+
+(** Replay a drift sequence.  [specs]/[benchmarks] default to the full
+    Table II fleet and NPB+SPEC corpus; tests and benches pass reduced
+    worlds. *)
+val run :
+  ?specs:Sites.spec list ->
+  ?benchmarks:Feam_suites.Benchmark.t list ->
+  ?progress:(string -> unit) ->
+  seed:int ->
+  epochs:int ->
+  unit ->
+  t
+
+(** Project a full [Migrate] result onto the snapshot cell schema —
+    the bridge the byte-identity cross-check tests compare through. *)
+val cell_of_migration : Migrate.migration -> Feam_drift.Snapshot.cell
+
+(** The sequence's building blocks, exposed so tests and benches can
+    replay single epochs without running a whole sequence. *)
+
+(** Loader-visible library basenames a [Remove_lib] draw may target
+    (loader and libc excluded), from a pristine world. *)
+val removal_candidates : Feam_sysmodel.Site.t list -> string list
+
+(** The keyed PRNG draw for epoch [epoch] ("drift/epoch/<k>" stream). *)
+val draw :
+  seed:int ->
+  epoch:int ->
+  site_names:string list ->
+  candidates:string list ->
+  perturbation
+
+(** Fresh world (specs + testset, compiled before perturbations) with
+    the active perturbation set applied on top. *)
+val build_world :
+  Params.t ->
+  Sites.spec list ->
+  Feam_suites.Benchmark.t list ->
+  perturbation list ->
+  Feam_sysmodel.Site.t list * Testset.binary list
+
+(** The matrix: every binary against every other site with a matching
+    MPI implementation — [Migrate.run_all]'s cell criterion. *)
+val all_cells :
+  Feam_sysmodel.Site.t list ->
+  Testset.binary list ->
+  (Testset.binary * Feam_sysmodel.Site.t) list
+
+(** Prediction-only evaluation of one cell: [Migrate.migrate]'s steps
+    minus the two ground-truth executions. *)
+val predict_cell :
+  Testset.binary -> Feam_sysmodel.Site.t -> Feam_drift.Snapshot.cell
+
+(** Capture a world as a normalized epoch snapshot around an
+    already-computed verdict table. *)
+val snapshot_of_world :
+  epoch:int ->
+  seed:int ->
+  label:string ->
+  Feam_sysmodel.Site.t list ->
+  Testset.binary list ->
+  cells:Feam_drift.Snapshot.cell list ->
+  Feam_drift.Snapshot.t
+
+(** Serialize just a verdict table, for byte-level comparison between
+    incremental and full re-evaluation. *)
+val cells_doc : epoch:int -> seed:int -> Feam_drift.Snapshot.cell list -> string
+
+val timeline : t -> Feam_drift.Timeline.entry list
+
+val snapshots : t -> Feam_drift.Snapshot.t list
+
+(** The reduced two-site, two-benchmark world shared by tests, benches,
+    and quick CLI runs. *)
+val small_specs : unit -> Sites.spec list
+
+val small_benchmarks : unit -> Feam_suites.Benchmark.t list

@@ -37,6 +37,19 @@ let is_empty t =
   && t.discovery_changes = [] && t.determinants = []
   && not (report_flipped t)
 
+(* The explicitly-empty diff: what comparing a journal against itself
+   yields.  Two identical journals must compare equal to this modulo
+   their (equal) report verdicts. *)
+let empty =
+  {
+    run_changes = [];
+    description_changes = [];
+    discovery_changes = [];
+    determinants = [];
+    report_a = None;
+    report_b = None;
+  }
+
 (* --- flattening ------------------------------------------------------ *)
 
 let atom = function
@@ -60,8 +73,11 @@ let rec flatten prefix json acc =
 
 let flatten json = List.rev (flatten "" json [])
 
-(* Paths in [a]'s order, then [b]-only paths in [b]'s order; a change
-   per path whose atoms differ. *)
+let atoms = flatten
+
+(* Changed paths in canonical (path-sorted) order: value lookup is by
+   path, and the output is sorted, so the order in which either side
+   listed its evidence atoms never shows through in the diff. *)
 let diff_atoms a b =
   let changes =
     List.filter_map
@@ -79,7 +95,7 @@ let diff_atoms a b =
         else Some { path; a = None; b = Some vb })
       b
   in
-  changes @ added
+  List.sort (fun x y -> String.compare x.path y.path) (changes @ added)
 
 let diff_json a b =
   let fl = function None -> [] | Some j -> flatten j in
@@ -162,6 +178,27 @@ let compare ja jb =
     report_a = report_verdict ja;
     report_b = report_verdict jb;
   }
+
+(* --- typed parse front-end ------------------------------------------- *)
+
+(* Diffing unparsed journal bodies: a truncated or schema-mismatched
+   journal degrades to a typed error naming the side that failed, never
+   an exception.  [Journal.parse] already rejects non-journal documents
+   and schemas newer than the recorder's. *)
+type journal_error = { je_side : [ `A | `B ]; je_reason : string }
+
+let journal_error_to_string e =
+  Printf.sprintf "journal %s: %s"
+    (match e.je_side with `A -> "A" | `B -> "B")
+    e.je_reason
+
+let of_strings ~a ~b =
+  match Journal.parse a with
+  | Error reason -> Error { je_side = `A; je_reason = reason }
+  | Ok ja -> (
+    match Journal.parse b with
+    | Error reason -> Error { je_side = `B; je_reason = reason }
+    | Ok jb -> Ok (compare ja jb))
 
 (* --- rendering ------------------------------------------------------- *)
 

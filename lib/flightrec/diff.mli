@@ -27,7 +27,37 @@ type t = {
 }
 
 val compare : Journal.t -> Journal.t -> t
+
+(** The explicitly-empty diff (no changes, no verdicts): the value a
+    journal compared against itself reduces to, modulo the (equal)
+    report verdicts. *)
+val empty : t
+
 val is_empty : t -> bool
 val report_flipped : t -> bool
+
+(** A side that failed to parse: truncated bodies, non-journal
+    documents, schema mismatches.  Never an exception. *)
+type journal_error = { je_side : [ `A | `B ]; je_reason : string }
+
+val journal_error_to_string : journal_error -> string
+
+(** Parse both journal bodies and compare them.  Degrades to a typed
+    error naming the side whose body is truncated, not a journal, or
+    carries a newer schema than this build understands. *)
+val of_strings : a:string -> b:string -> (t, journal_error) result
+
+(** Flatten a JSON document to dotted-path evidence atoms, in document
+    order (lists become [path[i]]).  The diff's own vocabulary, exposed
+    for layers that diff other evidence documents (the drift
+    observatory's epoch snapshots). *)
+val atoms : Feam_util.Json.t -> (string * string) list
+
+(** Atom-level diff of two flattened documents, in canonical
+    (path-sorted) order: atom ordering on either side never affects the
+    output. *)
+val diff_atoms :
+  (string * string) list -> (string * string) list -> change list
+
 val render_text : t -> string
 val to_json : t -> Feam_util.Json.t

@@ -353,6 +353,66 @@ let test_diff_pins_changed_fact_and_flip () =
         (bind (Json.member "verdict" json) (Json.member "flipped"))
         Json.to_bool_opt)
 
+(* -- diff hardening: of_strings, ordering invariance, typed errors ------- *)
+
+let test_diff_of_strings_identical () =
+  Feam_obs.reset ();
+  let _, text = with_recorder (fun () -> run_pipeline ()) in
+  match Diff.of_strings ~a:text ~b:text with
+  | Error e ->
+    Alcotest.failf "identical journals: %s" (Diff.journal_error_to_string e)
+  | Ok d ->
+    Alcotest.(check bool)
+      "identical journals reduce to the explicitly-empty diff" true
+      (Diff.is_empty d);
+    Alcotest.(check bool) "Diff.empty is empty too" true
+      (Diff.is_empty Diff.empty);
+    Alcotest.(check string)
+      "and render the no-difference notice"
+      "journal diff: no differences\n" (Diff.render_text d)
+
+let test_diff_atoms_order_invariance () =
+  let a = [ ("x", "1"); ("y", "2"); ("z", "3") ] in
+  let b = [ ("y", "2"); ("z", "9"); ("w", "4") ] in
+  let d = Diff.diff_atoms a b in
+  Alcotest.(check bool)
+    "atom order on either side never affects the diff" true
+    (d = Diff.diff_atoms (List.rev a) (List.rev b));
+  Alcotest.(check (list string))
+    "output is path-sorted" [ "w"; "x"; "z" ]
+    (List.map (fun c -> c.Diff.path) d)
+
+let test_diff_of_strings_truncated () =
+  Feam_obs.reset ();
+  let _, text = with_recorder (fun () -> run_pipeline ()) in
+  let truncated = String.sub text 0 (String.length text - 2) in
+  match Diff.of_strings ~a:text ~b:truncated with
+  | Ok _ -> Alcotest.fail "a truncated journal body should not diff"
+  | Error e ->
+    Alcotest.(check bool) "the error blames side B" true (e.Diff.je_side = `B);
+    Alcotest.(check bool)
+      "and its rendering names the journal" true
+      (contains ~affix:"journal B" (Diff.journal_error_to_string e))
+
+let test_diff_of_strings_schema_mismatch () =
+  Feam_obs.reset ();
+  let _, text = with_recorder (fun () -> run_pipeline ()) in
+  let body =
+    match String.index_opt text '\n' with
+    | None -> Alcotest.fail "journal has no header line"
+    | Some i -> String.sub text i (String.length text - i)
+  in
+  let bumped =
+    "{\"type\":\"journal\",\"schema\":99,\"tool\":\"test\"}" ^ body
+  in
+  match Diff.of_strings ~a:bumped ~b:text with
+  | Ok _ -> Alcotest.fail "a newer-schema journal should not diff"
+  | Error e ->
+    Alcotest.(check bool) "the error blames side A" true (e.Diff.je_side = `A);
+    Alcotest.(check bool)
+      "and names the schema" true
+      (contains ~affix:"schema" e.Diff.je_reason)
+
 (* -- evalharness cell journals ------------------------------------------- *)
 
 let test_matrix_cell_journal_replays () =
@@ -414,6 +474,14 @@ let suite =
         test_replay_requires_payloads;
       Alcotest.test_case "diff pins the changed fact and flip" `Quick
         test_diff_pins_changed_fact_and_flip;
+      Alcotest.test_case "diff of identical journal bodies is empty" `Quick
+        test_diff_of_strings_identical;
+      Alcotest.test_case "diff_atoms is atom-order invariant" `Quick
+        test_diff_atoms_order_invariance;
+      Alcotest.test_case "truncated journal body is a typed error" `Quick
+        test_diff_of_strings_truncated;
+      Alcotest.test_case "newer-schema journal body is a typed error" `Quick
+        test_diff_of_strings_schema_mismatch;
       Alcotest.test_case "matrix cell journal replays" `Quick
         test_matrix_cell_journal_replays;
     ] )
