@@ -396,6 +396,47 @@ let bench_audit_context =
               ~target:(Feam_analysis.Context.target_of_site Fixture.target)
               Fixture.bundle)) )
 
+(* Resident prediction service: a steady-state query answers from the
+   warm verdict table (the < 50 µs/op budget the daemon's design
+   targets), while an incremental update pays recapture + store diff +
+   re-evaluation of only the affected cells — never a cold pass.  The
+   update bench toggles the fir ld cache stale/fresh so every call is a
+   real accepted mutation. *)
+let serve_fixture =
+  lazy
+    (let engine = Feam_serve.Engine.create ~seed:42 () in
+     let snap = Feam_serve.Engine.snapshot engine in
+     let cell = List.hd snap.Feam_drift.Snapshot.cells in
+     let line =
+       Printf.sprintf {|{"verb":"predict","binary":"%s","target":"%s"}|}
+         cell.Feam_drift.Snapshot.cl_binary cell.Feam_drift.Snapshot.cl_target
+     in
+     (engine, line))
+
+let bench_serve_query =
+  ( "serve/steady-state-query",
+    fun () ->
+      let engine, line = Lazy.force serve_fixture in
+      match Feam_serve.Protocol.parse line with
+      | Ok req -> ignore (Feam_serve.Engine.handle engine req)
+      | Error _ -> assert false )
+
+let serve_toggle = ref false
+
+let bench_serve_update =
+  ( "serve/incremental-update",
+    fun () ->
+      let engine, _ = Lazy.force serve_fixture in
+      serve_toggle := not !serve_toggle;
+      let action =
+        if !serve_toggle then Feam_serve.Protocol.Stale_ld_cache
+        else Feam_serve.Protocol.Fresh_ld_cache
+      in
+      ignore
+        (Feam_serve.Engine.handle engine
+           (Feam_serve.Protocol.Update_evidence
+              { ue_site = "fir"; ue_action = action })) )
+
 let all_benches =
   [
     bench_table1; bench_table2; bench_table3_basic; bench_table3_extended;
@@ -404,6 +445,7 @@ let all_benches =
     bench_depot_plan; bench_agree_scengen; bench_agree_pipeline;
     bench_drift_full; bench_drift_incremental;
     bench_factbase_cold; bench_factbase_warm; bench_audit_context;
+    bench_serve_query; bench_serve_update;
   ]
 
 (* -- Machine-readable results ------------------------------------------------ *)
@@ -432,6 +474,8 @@ let headline_benches =
     ("agree_full_pipeline", "agree/full-pipeline");
     ("drift_incremental", "drift/incremental-reeval");
     ("audit_context", "audit/context-of-bundle");
+    ("serve_steady_state_query", "serve/steady-state-query");
+    ("serve_incremental_update", "serve/incremental-update");
   ]
 
 let mean_of name =

@@ -2130,14 +2130,88 @@ let drift_cmd =
              and an alerting readiness timeline.")
     [ drift_snapshot_cmd; drift_diff_cmd; drift_timeline_cmd; drift_check_cmd ]
 
+(* ---- serve: the resident prediction service ---- *)
+
+let cmd_serve debug trace trace_out journal seed full socket port =
+  setup_logs debug;
+  setup_obs ~journal trace trace_out;
+  let open Feam_evalharness in
+  let specs = if full then Sites.specs else Driftrun.small_specs () in
+  let benchmarks =
+    if full then Feam_suites.Npb.all @ Feam_suites.Specmpi.all
+    else Driftrun.small_benchmarks ()
+  in
+  let engine =
+    Feam_serve.Engine.create ~specs ~benchmarks ~clock:Feam_obs.Clock.wall
+      ~seed ()
+  in
+  Fun.protect ~finally:(fun () -> Feam_serve.Engine.close engine)
+  @@ fun () ->
+  (* Status goes to stderr: in stdio mode stdout carries only the
+     response lines, so transcripts stay byte-comparable. *)
+  Fmt.epr "feam serve: resident fleet ready — %d cells at epoch 0@."
+    (Feam_serve.Engine.resident_cells engine);
+  let outcome =
+    match (socket, port) with
+    | Some path, _ ->
+      Fmt.epr "feam serve: listening on unix socket %s@." path;
+      Feam_serve.Daemon.run_unix_socket engine path
+    | None, Some p ->
+      Fmt.epr "feam serve: listening on 127.0.0.1:%d@." p;
+      Feam_serve.Daemon.run_tcp engine p
+    | None, None -> Feam_serve.Daemon.run_stdio engine
+  in
+  Fmt.epr "feam serve: drained after %d request%s (%d parse error%s)%s@."
+    outcome.Feam_serve.Daemon.served
+    (if outcome.Feam_serve.Daemon.served = 1 then "" else "s")
+    outcome.Feam_serve.Daemon.parse_errors
+    (if outcome.Feam_serve.Daemon.parse_errors = 1 then "" else "s")
+    (if outcome.Feam_serve.Daemon.interrupted then " — interrupted" else "")
+
+let serve_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Serve a unix domain socket at PATH (one client at a time).")
+
+let serve_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N" ~doc:"Serve TCP on 127.0.0.1:N.")
+
+let serve_full_arg =
+  Arg.(
+    value & flag
+    & info [ "full" ]
+        ~doc:"Keep the whole Table II fleet and NPB+SPEC corpus resident \
+              instead of the reduced two-site world.")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Long-running prediction daemon: the fleet's descriptions, \
+             discoveries and TEC verdicts stay resident, and a \
+             line-delimited JSON protocol answers predict / predict-batch \
+             / register-site / register-binary / update-evidence / \
+             snapshot / crosscheck / stats / shutdown.  Evidence updates \
+             re-evaluate only the cells the shared determinant<-evidence \
+             dependency map marks affected.  Responses are \
+             byte-deterministic for a given store state; without --socket \
+             or --port the daemon serves stdin/stdout.")
+    Term.(
+      const cmd_serve $ debug_arg $ trace_arg $ trace_out_arg $ journal_arg
+      $ agree_seed_arg $ serve_full_arg $ serve_socket_arg $ serve_port_arg)
+
 let main =
   Cmd.group
     (Cmd.info "feam" ~version:"1.0.0"
        ~doc:"Framework for Efficient Application Migration (simulated sites)")
     [ sites_cmd; describe_cmd; discover_cmd; predict_cmd; metrics_cmd;
       stats_cmd; bench_cmd; lint_cmd; audit_cmd; symcheck_cmd; agree_cmd;
-      replay_cmd; diff_cmd; drift_cmd; config_check_cmd; bundle_cmd;
-      inspect_bundle_cmd; depot_cmd; advise_cmd; rank_cmd;
+      replay_cmd; diff_cmd; drift_cmd; serve_cmd; config_check_cmd;
+      bundle_cmd; inspect_bundle_cmd; depot_cmd; advise_cmd; rank_cmd;
       scenario_template_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,171 @@
+(* The determinant<-evidence dependency map and the resident evidence
+   store.
+
+   `Tec.decide`'s verdict over a (binary, target) cell is a pure
+   function of two documents — the binary's description and the target
+   site's discovery — plus the bundle and library-inventory facts the
+   resolution walk consults.  Flattened through `Feam_flightrec.Diff`,
+   those documents become (owner, dotted path, value) *evidence atoms*,
+   and this module records which of the four determinants each atom
+   feeds.  The map was born in the drift observatory
+   (`lib/drift/invalidate.ml`); it lives here so that epoch drift and
+   the resident prediction service share one invalidation engine: any
+   consumer that keeps verdicts warm can diff fresh atoms against a
+   [Store], map the changed paths to determinants, and re-evaluate only
+   the cells those determinants reach.
+
+   Soundness (DESIGN §13/§14): an atom whose path the map does not
+   recognise conservatively invalidates every determinant, so a cell
+   outside the affected set has byte-identical decision inputs and
+   therefore a byte-identical verdict. *)
+
+type owner = Site_owner of string | Binary_owner of string
+
+let owner_to_string = function
+  | Site_owner s -> "site " ^ s
+  | Binary_owner b -> "binary " ^ b
+
+let owner_rank = function Site_owner _ -> 0 | Binary_owner _ -> 1
+
+let owner_name = function Site_owner s -> s | Binary_owner b -> b
+
+let compare_owner a b =
+  match Stdlib.compare (owner_rank a) (owner_rank b) with
+  | 0 -> String.compare (owner_name a) (owner_name b)
+  | c -> c
+
+(* -- the determinant <- evidence dependency map ------------------------ *)
+
+(* Determinant names follow the flight recorder's decision records
+   (`Recorder.decision ~determinant:...` in [Tec]), in the paper's
+   evaluation order. *)
+let all_determinants = [ "isa"; "glibc"; "mpi_stack"; "shared_libraries" ]
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Site-owned atoms reach a cell through the target-side EDC discovery,
+   the probe run, and the ldd/resolution walk.  The target glibc also
+   feeds probe compatibility and resolution filtering, so it fans out
+   past the glibc determinant. *)
+let site_determinants path =
+  if
+    has_prefix "discovery.machine" path
+    || has_prefix "discovery.os" path
+    || has_prefix "discovery.kernel" path
+  then [ "isa" ]
+  else if has_prefix "discovery.glibc" path then
+    [ "glibc"; "mpi_stack"; "shared_libraries" ]
+  else if
+    has_prefix "discovery.stacks" path
+    || has_prefix "discovery.current_stack" path
+  then [ "mpi_stack"; "shared_libraries" ]
+  else if has_prefix "discovery.env_type" path then []
+  else if path = "ld_cache_current" || has_prefix "inventory." path then
+    (* library visibility: the resolution walk, and the probe runs that
+       load libraries under the candidate stack's session *)
+    [ "mpi_stack"; "shared_libraries" ]
+  else all_determinants
+
+(* Binary-owned atoms reach every cell of that binary.  The MPI identity
+   is derived from the needed list, so needed changes invalidate the
+   stack determinant too; bundle elements carry the probes and the
+   resolution model's library copies. *)
+let binary_determinants path =
+  if has_prefix "description.format" path then [ "isa" ]
+  else if has_prefix "description.verneeds" path then [ "glibc" ]
+  else if
+    has_prefix "description.needed" path || has_prefix "description.soname" path
+  then [ "mpi_stack"; "shared_libraries" ]
+  else if
+    has_prefix "description.rpath" path || has_prefix "description.runpath" path
+  then [ "shared_libraries" ]
+  else if has_prefix "description.compiler" path then [ "mpi_stack" ]
+  else if
+    has_prefix "description.build_os" path || has_prefix "description.path" path
+  then []
+  else if has_prefix "bundle." path then [ "mpi_stack"; "shared_libraries" ]
+  else all_determinants (* digest, error, home, unknown paths: everything *)
+
+let determinants_of_atom owner path =
+  match owner with
+  | Site_owner _ -> site_determinants path
+  | Binary_owner _ -> binary_determinants path
+
+(* -- atoms from the decision documents --------------------------------- *)
+
+let discovery_atoms disc =
+  List.map
+    (fun (p, v) -> ("discovery." ^ p, v))
+    (Feam_flightrec.Diff.atoms (Discovery.to_json disc))
+
+let description_atoms d =
+  List.map
+    (fun (p, v) -> ("description." ^ p, v))
+    (Feam_flightrec.Diff.atoms (Description.to_json d))
+
+(* -- the resident evidence store --------------------------------------- *)
+
+module Store = struct
+  type change = {
+    ev_owner : owner;
+    ev_path : string;
+    ev_before : string option;
+    ev_after : string option;
+    ev_determinants : string list;
+  }
+
+  (* Per-owner atom maps, each kept sorted by path so [atoms] and the
+     change lists produced by [replace] are deterministic. *)
+  type t = (owner, (string * string) list) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let sort_atoms atoms =
+    List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) atoms
+
+  let atoms (t : t) owner =
+    Option.value ~default:[] (Hashtbl.find_opt t owner)
+
+  let owners (t : t) =
+    Hashtbl.fold (fun o _ acc -> o :: acc) t [] |> List.sort compare_owner
+
+  let size (t : t) =
+    Hashtbl.fold (fun _ atoms acc -> acc + List.length atoms) t 0
+
+  let change owner path before after =
+    {
+      ev_owner = owner;
+      ev_path = path;
+      ev_before = before;
+      ev_after = after;
+      ev_determinants = determinants_of_atom owner path;
+    }
+
+  (* Merge-diff two path-sorted atom lists. *)
+  let diff owner olds news =
+    let rec go olds news acc =
+      match (olds, news) with
+      | [], [] -> List.rev acc
+      | (p, v) :: olds, [] -> go olds [] (change owner p (Some v) None :: acc)
+      | [], (p, v) :: news -> go [] news (change owner p None (Some v) :: acc)
+      | (po, vo) :: olds', (pn, vn) :: news' ->
+        let c = String.compare po pn in
+        if c < 0 then go olds' news (change owner po (Some vo) None :: acc)
+        else if c > 0 then go olds news' (change owner pn None (Some vn) :: acc)
+        else if String.equal vo vn then go olds' news' acc
+        else go olds' news' (change owner po (Some vo) (Some vn) :: acc)
+    in
+    go olds news []
+
+  let replace (t : t) owner new_atoms =
+    let news = sort_atoms new_atoms in
+    let changes = diff owner (atoms t owner) news in
+    Hashtbl.replace t owner news;
+    changes
+
+  let remove (t : t) owner =
+    let changes = diff owner (atoms t owner) [] in
+    Hashtbl.remove t owner;
+    changes
+end

@@ -37,68 +37,19 @@ type plan = {
 
 (* -- the determinant <- evidence dependency map ------------------------ *)
 
-let all_determinants = [ "isa"; "glibc"; "mpi_stack"; "shared_libraries" ]
+(* The map itself lives in [Feam_core.Evidence] (promoted from here so
+   the resident prediction service shares it); this module keeps the
+   epoch-level diffing and planning on top. *)
 
-let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+let all_determinants = Feam_core.Evidence.all_determinants
 
-(* Site-owned atoms reach a cell through the target-side EDC discovery,
-   the probe run, and the ldd/resolution walk.  The target glibc also
-   feeds probe compatibility and resolution filtering, so it fans out
-   past the glibc determinant. *)
-let site_determinants path =
-  if has_prefix "discovery.machine" path || has_prefix "discovery.os" path
-     || has_prefix "discovery.kernel" path
-  then [ "isa" ]
-  else if has_prefix "discovery.glibc" path then
-    [ "glibc"; "mpi_stack"; "shared_libraries" ]
-  else if has_prefix "discovery.stacks" path
-          || has_prefix "discovery.current_stack" path
-  then [ "mpi_stack"; "shared_libraries" ]
-  else if has_prefix "discovery.env_type" path then []
-  else if path = "ld_cache_current" || has_prefix "inventory." path then
-    (* library visibility: the resolution walk, and the probe runs that
-       load libraries under the candidate stack's session *)
-    [ "mpi_stack"; "shared_libraries" ]
-  else all_determinants
-
-(* Binary-owned atoms reach every cell of that binary.  The MPI identity
-   is derived from the needed list, so needed changes invalidate the
-   stack determinant too; bundle elements carry the probes and the
-   resolution model's library copies. *)
-let binary_determinants path =
-  if has_prefix "description.format" path then [ "isa" ]
-  else if has_prefix "description.verneeds" path then [ "glibc" ]
-  else if has_prefix "description.needed" path
-          || has_prefix "description.soname" path
-  then [ "mpi_stack"; "shared_libraries" ]
-  else if has_prefix "description.rpath" path
-          || has_prefix "description.runpath" path
-  then [ "shared_libraries" ]
-  else if has_prefix "description.compiler" path then [ "mpi_stack" ]
-  else if has_prefix "description.build_os" path
-          || has_prefix "description.path" path
-  then []
-  else if has_prefix "bundle." path then [ "mpi_stack"; "shared_libraries" ]
-  else all_determinants (* digest, error, home, unknown paths: everything *)
-
-let determinants_of_atom owner path =
-  match owner with
-  | Snapshot.Site_owner _ -> site_determinants path
-  | Snapshot.Binary_owner _ -> binary_determinants path
+let determinants_of_atom = Feam_core.Evidence.determinants_of_atom
 
 (* -- atom diff --------------------------------------------------------- *)
 
 let compare_cells a b = compare (a.ci_binary, a.ci_target) (b.ci_binary, b.ci_target)
 
-let owner_rank = function
-  | Snapshot.Site_owner _ -> 0
-  | Snapshot.Binary_owner _ -> 1
-
-let compare_owners a b =
-  match Stdlib.compare (owner_rank a) (owner_rank b) with
-  | 0 ->
-    String.compare (Snapshot.owner_to_string a) (Snapshot.owner_to_string b)
-  | c -> c
+let compare_owners = Feam_core.Evidence.compare_owner
 
 (* Cells a changed atom invalidates: site atoms reach the cells
    targeting that site (home-side effects surface as binary atoms — the

@@ -322,13 +322,14 @@ let of_jsonl body =
 (* The invalidation engine's vocabulary: each fleet-evidence fact as an
    (owner, dotted path, value) atom.  Cells and possession are derived
    data — they are never inputs to invalidation, so they contribute no
-   atoms. *)
+   atoms.  The owner type is the core evidence store's — drift and the
+   resident prediction service share one atom vocabulary. *)
 
-type owner = Site_owner of string | Binary_owner of string
+type owner = Feam_core.Evidence.owner =
+  | Site_owner of string
+  | Binary_owner of string
 
-let owner_to_string = function
-  | Site_owner s -> "site " ^ s
-  | Binary_owner b -> "binary " ^ b
+let owner_to_string = Feam_core.Evidence.owner_to_string
 
 let site_atoms s =
   (("ld_cache_current", string_of_bool s.ss_ld_cache_current)

@@ -78,10 +78,19 @@ val of_jsonl : string -> (t, string) result
 val hash : t -> string
 
 (** Who an evidence atom belongs to — the unit invalidation maps back
-    to matrix cells. *)
-type owner = Site_owner of string | Binary_owner of string
+    to matrix cells.  Shared with the core evidence store so drift and
+    the resident prediction service speak one atom vocabulary. *)
+type owner = Feam_core.Evidence.owner =
+  | Site_owner of string
+  | Binary_owner of string
 
 val owner_to_string : owner -> string
+
+(** One site's evidence as (owner, dotted path, value) atoms. *)
+val site_atoms : site_state -> (owner * string * string) list
+
+(** One binary's evidence as (owner, dotted path, value) atoms. *)
+val binary_atoms : binary_state -> (owner * string * string) list
 
 (** Every fleet-evidence fact as an (owner, dotted path, value) atom.
     Cells and possession are derived data and contribute no atoms. *)

@@ -69,6 +69,14 @@ val build_world :
   perturbation list ->
   Feam_sysmodel.Site.t list * Testset.binary list
 
+(** Capture one site's evidence (discovery + loader-visible library
+    inventory) as a snapshot site record. *)
+val capture_site : Feam_sysmodel.Site.t -> Feam_drift.Snapshot.site_state
+
+(** Capture one binary's evidence (description + bundle digests) as a
+    snapshot binary record. *)
+val capture_binary : Testset.binary -> Feam_drift.Snapshot.binary_state
+
 (** The matrix: every binary against every other site with a matching
     MPI implementation — [Migrate.run_all]'s cell criterion. *)
 val all_cells :

@@ -124,3 +124,17 @@ let decision ~determinant ~verdict evidence =
    replay reconstructs the run from. *)
 let payload ~kind data =
   record "payload" ~fields:[ ("kind", Json.Str kind); ("data", data) ]
+
+(* One request/response exchange served by the resident prediction
+   daemon.  Byte sizes rather than bodies: the response log is its own
+   replayable artifact; the journal records that the exchange happened
+   and whether it was answered cleanly. *)
+let serve_request ~verb ~ok ~bytes_in ~bytes_out =
+  record "serve.request"
+    ~fields:
+      [
+        ("verb", Json.Str verb);
+        ("ok", Json.Bool ok);
+        ("bytes_in", Json.Int bytes_in);
+        ("bytes_out", Json.Int bytes_out);
+      ]

@@ -35,6 +35,11 @@ val decision :
     material replay reconstructs the run from. *)
 val payload : kind:string -> Feam_util.Json.t -> unit
 
+(** One request/response exchange served by the resident prediction
+    daemon ([serve.request] record): verb, outcome, and wire sizes. *)
+val serve_request :
+  verb:string -> ok:bool -> bytes_in:int -> bytes_out:int -> unit
+
 (** Render and hand the journal to [emit].  Idempotent: does nothing
     when no records were added since the last flush. *)
 val flush : unit -> unit

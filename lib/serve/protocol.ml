@@ -1,0 +1,179 @@
+(* The daemon's wire protocol: one request per line, one JSON object
+   per request, one JSON response line per request.  The parser is
+   total — malformed, truncated, oversized or unknown input maps to a
+   typed error, never an exception — because a bad client line must
+   cost the daemon one error response, not its life.
+
+   Responses are rendered elsewhere (engine/daemon); this module owns
+   the request grammar and the error vocabulary. *)
+
+module Json = Feam_util.Json
+
+type query = { q_binary : string; q_target : string }
+
+type action = Stale_ld_cache | Fresh_ld_cache | Remove_lib of string
+
+type request =
+  | Predict of query
+  | Predict_batch of query list
+  | Register_site of string
+  | Register_binary of { rb_home : string; rb_benchmark : string }
+  | Update_evidence of { ue_site : string; ue_action : action }
+  | Snapshot_fleet of { sf_out : string option }
+  | Crosscheck
+  | Stats
+  | Shutdown
+
+type error =
+  | Empty_line
+  | Oversized of int
+  | Malformed of string
+  | Not_an_object
+  | Missing_verb
+  | Unknown_verb of string
+  | Missing_field of { verb : string; field : string }
+  | Bad_field of { field : string; expected : string }
+
+(* Large enough for any legitimate predict-batch over the full Table II
+   matrix; small enough that a runaway client cannot balloon memory. *)
+let max_line_bytes = 1 lsl 16
+
+let verb_of_request = function
+  | Predict _ -> "predict"
+  | Predict_batch _ -> "predict-batch"
+  | Register_site _ -> "register-site"
+  | Register_binary _ -> "register-binary"
+  | Update_evidence _ -> "update-evidence"
+  | Snapshot_fleet _ -> "snapshot"
+  | Crosscheck -> "crosscheck"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let action_to_string = function
+  | Stale_ld_cache -> "stale-ld-cache"
+  | Fresh_ld_cache -> "fresh-ld-cache"
+  | Remove_lib _ -> "remove-lib"
+
+(* -- parsing ----------------------------------------------------------- *)
+
+let str_field obj ~verb ~field =
+  match Json.member field obj with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Bad_field { field; expected = "string" })
+  | None -> Error (Missing_field { verb; field })
+
+let opt_str_field obj ~field =
+  match Json.member field obj with
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some Json.Null | None -> Ok None
+  | Some _ -> Error (Bad_field { field; expected = "string" })
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_query ~verb obj =
+  let* q_binary = str_field obj ~verb ~field:"binary" in
+  let* q_target = str_field obj ~verb ~field:"target" in
+  Ok { q_binary; q_target }
+
+let parse_action obj =
+  let verb = "update-evidence" in
+  let* action = str_field obj ~verb ~field:"action" in
+  match action with
+  | "stale-ld-cache" -> Ok Stale_ld_cache
+  | "fresh-ld-cache" -> Ok Fresh_ld_cache
+  | "remove-lib" ->
+    let* lib = str_field obj ~verb ~field:"lib" in
+    Ok (Remove_lib lib)
+  | _ ->
+    Error
+      (Bad_field
+         {
+           field = "action";
+           expected = "stale-ld-cache, fresh-ld-cache, or remove-lib";
+         })
+
+let parse_verb verb obj =
+  match verb with
+  | "predict" ->
+    let* q = parse_query ~verb obj in
+    Ok (Predict q)
+  | "predict-batch" -> (
+    match Json.member "queries" obj with
+    | Some (Json.List qs) ->
+      let rec go acc = function
+        | [] -> Ok (Predict_batch (List.rev acc))
+        | q :: rest ->
+          let* q = parse_query ~verb q in
+          go (q :: acc) rest
+      in
+      go [] qs
+    | Some _ -> Error (Bad_field { field = "queries"; expected = "list" })
+    | None -> Error (Missing_field { verb; field = "queries" }))
+  | "register-site" ->
+    let* site = str_field obj ~verb ~field:"site" in
+    Ok (Register_site site)
+  | "register-binary" ->
+    let* rb_home = str_field obj ~verb ~field:"home" in
+    let* rb_benchmark = str_field obj ~verb ~field:"benchmark" in
+    Ok (Register_binary { rb_home; rb_benchmark })
+  | "update-evidence" ->
+    let* ue_site = str_field obj ~verb ~field:"site" in
+    let* ue_action = parse_action obj in
+    Ok (Update_evidence { ue_site; ue_action })
+  | "snapshot" ->
+    let* sf_out = opt_str_field obj ~field:"out" in
+    Ok (Snapshot_fleet { sf_out })
+  | "crosscheck" -> Ok Crosscheck
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | other -> Error (Unknown_verb other)
+
+let parse line =
+  if String.length line > max_line_bytes then
+    Error (Oversized (String.length line))
+  else
+    let trimmed = String.trim line in
+    if trimmed = "" then Error Empty_line
+    else
+      match Json.parse trimmed with
+      | Error e -> Error (Malformed e)
+      | Ok (Json.Obj _ as obj) -> (
+        match Json.member "verb" obj with
+        | Some (Json.Str verb) -> parse_verb verb obj
+        | Some _ -> Error (Bad_field { field = "verb"; expected = "string" })
+        | None -> Error Missing_verb)
+      | Ok _ -> Error Not_an_object
+
+(* -- error rendering --------------------------------------------------- *)
+
+let error_code = function
+  | Empty_line -> "empty-line"
+  | Oversized _ -> "oversized"
+  | Malformed _ -> "malformed"
+  | Not_an_object -> "not-an-object"
+  | Missing_verb -> "missing-verb"
+  | Unknown_verb _ -> "unknown-verb"
+  | Missing_field _ -> "missing-field"
+  | Bad_field _ -> "bad-field"
+
+let error_detail = function
+  | Empty_line -> "blank request line"
+  | Oversized n ->
+    Printf.sprintf "request line is %d bytes; limit is %d" n max_line_bytes
+  | Malformed e -> e
+  | Not_an_object -> "request is not a JSON object"
+  | Missing_verb -> "request has no \"verb\" field"
+  | Unknown_verb v -> Printf.sprintf "unknown verb %S" v
+  | Missing_field { verb; field } ->
+    Printf.sprintf "verb %S requires field %S" verb field
+  | Bad_field { field; expected } ->
+    Printf.sprintf "field %S must be %s" field expected
+
+let error_response e =
+  Json.render
+    (Json.Obj
+       [
+         ("ok", Json.Bool false);
+         ("error", Json.Str (error_code e));
+         ("detail", Json.Str (error_detail e));
+       ])
